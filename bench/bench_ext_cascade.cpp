@@ -1,0 +1,84 @@
+// Extension bench — multi-model cascade pipelines (§8 future work).
+//
+// A NoScope-style cascade (cheap gate model on every frame, expensive
+// expert on escalated frames) is two tenants with very different duty
+// cycles. A dedicated design burns two whole TPUs per cascade; MicroEdge
+// packs gate + expert duty cycles fractionally, and the planner's
+// expected-hit-rate knob trades packing density against SLO risk.
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "testbed/testbed.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+namespace {
+
+struct FleetOutcome {
+  int admitted = 0;
+  std::size_t meetingSlo = 0;
+  double meanEscalation = 0.0;
+  double utilization = 0.0;
+};
+
+FleetOutcome runFleet(double expectedHitRate) {
+  Testbed testbed;
+  FleetOutcome outcome;
+  for (int i = 0; i < 20; ++i) {
+    CascadeDeployment deployment;
+    deployment.name = strCat("cascade-", i);
+    deployment.gateModel = zoo::kMobileNetV1;
+    deployment.expertModel = zoo::kUNetV2;
+    deployment.expectedHitRate = expectedHitRate;
+    if (!testbed.deployCascade(deployment).isOk()) break;
+    ++outcome.admitted;
+  }
+  testbed.run(seconds(30));
+  double escalationSum = 0.0;
+  for (CascadeApp* app : testbed.liveCascades()) {
+    if (app->slo().sloMet()) ++outcome.meetingSlo;
+    escalationSum += app->escalationRate();
+  }
+  outcome.meanEscalation =
+      outcome.admitted > 0 ? escalationSum / outcome.admitted : 0.0;
+  outcome.utilization = testbed.meanTpuUtilization();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner(
+      "Extension — multi-model cascades (gate: mobilenet-v1, expert: "
+      "unet-v2, 15 FPS)");
+
+  ModelRegistry registry = zoo::standardZoo();
+  double gateUnits = registry.at(zoo::kMobileNetV1).tpuUnitsAt(15.0);
+  double expertFull = registry.at(zoo::kUNetV2).tpuUnitsAt(15.0);
+  std::cout << "duty cycles: gate " << fmtDouble(gateUnits, 3)
+            << " units (every frame), expert " << fmtDouble(expertFull, 3)
+            << " x hit-rate units\n"
+            << "dedicated design: 2 whole TPUs per cascade -> 3 cascades on "
+               "the 6-TPU pool\n\n";
+
+  TextTable table({"planned hit rate", "cascades admitted", "meeting SLO",
+                   "measured escalation", "TPU utilization"});
+  for (double hitRate : {1.0, 0.75, 0.5, 0.4}) {
+    FleetOutcome outcome = runFleet(hitRate);
+    table.addRow({fmtDouble(hitRate, 2), std::to_string(outcome.admitted),
+                  strCat(outcome.meetingSlo, "/", outcome.admitted),
+                  fmtDouble(outcome.meanEscalation, 2),
+                  fmtDouble(outcome.utilization * 100.0, 1) + "%"});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nReading: fractional sharing fits 2-6x more cascades than\n"
+               "the dedicated design. Conservative (worst-case) hit-rate\n"
+               "profiles keep every SLO; optimistic profiles pack denser but\n"
+               "content bursts can exceed the expert's reservation — the\n"
+               "planning trade-off MicroEdge's offline profiling service\n"
+               "navigates.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 1 — Model Processing Times on TPU.
+//
+// Profiles the eight pre-trained models on a dedicated simulated TPU by
+// running back-to-back inferences (the paper's offline profiling service),
+// and prints the measured per-frame latency plus the workload (FPS) needed
+// to drive the TPU to 100% utilization (the figure's orange line), and the
+// resulting TPU units at the 15 FPS industry operating point.
+
+#include <iostream>
+
+#include "cluster/tpu_device.hpp"
+#include "metrics/report.hpp"
+#include "util/histogram.hpp"
+#include "models/zoo.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+int main() {
+  ModelRegistry zoo = zoo::standardZoo();
+
+  std::cout << banner("Fig. 1 — Model processing times on the Edge TPU");
+  TextTable table({"model", "task", "latency (ms)", "FPS for 100% util",
+                   "TPU units @15FPS"});
+
+  for (const std::string& name : zoo::fig1Models()) {
+    // Fresh device per model: measure steady-state (resident) latency.
+    Simulator sim;
+    TpuDevice tpu(sim, zoo, "profiler");
+    Status loaded = tpu.loadModels({name});
+    if (!loaded.isOk()) {
+      std::cerr << "load failed: " << loaded << "\n";
+      return 1;
+    }
+    sim.run();
+
+    constexpr int kFrames = 200;
+    DurationSummary measured;
+    for (int i = 0; i < kFrames; ++i) {
+      Status s = tpu.invoke(name, [&](const TpuDevice::InvokeStats& stats) {
+        measured.add(stats.serviceTime);
+      });
+      if (!s.isOk()) {
+        std::cerr << "invoke failed: " << s << "\n";
+        return 1;
+      }
+      sim.run();
+    }
+
+    const ModelInfo& info = zoo.at(name);
+    double latencyMs = measured.meanMs();
+    table.addRow({name, std::string(toString(info.task)),
+                  fmtDouble(latencyMs, 1), fmtDouble(1000.0 / latencyMs, 1),
+                  fmtDouble(latencyMs / toMilliseconds(framePeriod(15.0)), 2)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nReading: five of the eight models need > 50 FPS to reach\n"
+               "100% TPU utilization, while surveillance cameras run at\n"
+               "~15 FPS — the fragmentation motivating MicroEdge. Expensive\n"
+               "models (ResNet-50, EfficientDet-Lite0) exceed the 66.7 ms\n"
+               "frame budget entirely and need >1 TPU.\n";
+  return 0;
+}

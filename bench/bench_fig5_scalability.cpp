@@ -1,0 +1,108 @@
+// Fig. 5 — Scalability of MicroEdge.
+//
+// 5a/5b: Coral-Pie (SSD MobileNet V2, 0.35 units @15 FPS) — max camera
+//        instances and mean TPU utilization vs #TPUs, for the bare-metal
+//        baseline, MicroEdge w/o workload partitioning, and w/ W.P.
+// 5c/5d: BodyPix (1.2 units @15 FPS) — baseline dedicates two TPUs per
+//        camera (attached to one RPi); MicroEdge uses W.P.
+//
+// Every point deploys cameras until admission rejects one, then runs the
+// data plane and reports measured utilization and SLO compliance.
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "testbed/scenarios.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+namespace {
+
+void printSeries(const std::string& title, const CameraDeployment& deployment,
+                 const std::vector<std::pair<std::string, ScalabilityScenario>>&
+                     variants,
+                 const std::vector<int>& tpuCounts) {
+  std::cout << banner(title);
+  // Build per-variant result grids.
+  std::vector<std::vector<ScalabilityPoint>> results;
+  for (const auto& [label, scenario] : variants) {
+    (void)label;
+    std::vector<ScalabilityPoint> row;
+    for (int tpus : tpuCounts) {
+      ScalabilityScenario s = scenario;
+      s.deployment = deployment;
+      row.push_back(runScalabilityPoint(s, tpus));
+    }
+    results.push_back(std::move(row));
+  }
+
+  std::vector<std::string> header = {"#TPUs"};
+  for (const auto& [label, scenario] : variants) {
+    (void)scenario;
+    header.push_back(label);
+  }
+  TextTable cameraTable(header);
+  TextTable utilTable(header);
+  for (std::size_t t = 0; t < tpuCounts.size(); ++t) {
+    std::vector<std::string> cameraRow = {std::to_string(tpuCounts[t])};
+    std::vector<std::string> utilRow = {std::to_string(tpuCounts[t])};
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const ScalabilityPoint& p = results[v][t];
+      cameraRow.push_back(strCat(p.camerasSupported, p.sloMet ? "" : " (!)"));
+      utilRow.push_back(fmtDouble(p.meanUtilization * 100.0, 0) + "%");
+    }
+    cameraTable.addRow(std::move(cameraRow));
+    utilTable.addRow(std::move(utilRow));
+  }
+  std::cout << "max #camera instances (\"(!)\" marks SLO violations):\n"
+            << cameraTable.render() << "\nmean TPU utilization:\n"
+            << utilTable.render();
+}
+
+}  // namespace
+
+int main() {
+  // ---- Coral-Pie (Fig. 5a / 5b) -------------------------------------------
+  CameraDeployment coralPie;
+  coralPie.model = zoo::kSsdMobileNetV2;
+  coralPie.fps = 15.0;
+
+  ScalabilityScenario baseline;
+  baseline.mode = SchedulingMode::kBaselineDedicated;
+  ScalabilityScenario noWp;
+  noWp.mode = SchedulingMode::kMicroEdgeNoWp;
+  ScalabilityScenario wp;
+  wp.mode = SchedulingMode::kMicroEdgeWp;
+
+  printSeries("Fig. 5a/5b — Coral-Pie scalability & utilization", coralPie,
+              {{"baseline", baseline},
+               {"MicroEdge w/o W.P.", noWp},
+               {"MicroEdge w/ W.P.", wp}},
+              {1, 2, 3, 4, 5, 6});
+
+  std::cout << "\nPaper shape: with 6 TPUs the baseline serves 6 cameras,\n"
+               "w/o W.P. 12, w/ W.P. 17 (2.8x); utilization rises from ~35%\n"
+               "to ~70% to ~100%.\n";
+
+  // ---- BodyPix (Fig. 5c / 5d) ---------------------------------------------
+  CameraDeployment bodypix;
+  bodypix.model = zoo::kBodyPixMobileNetV1;
+  bodypix.fps = 15.0;
+
+  ScalabilityScenario bodypixBaseline;
+  bodypixBaseline.mode = SchedulingMode::kBaselineDedicated;
+  bodypixBaseline.tpusPerNode = 2;  // bare metal: two TPUs per RPi host
+  ScalabilityScenario bodypixWp;
+  bodypixWp.mode = SchedulingMode::kMicroEdgeWp;
+
+  printSeries("Fig. 5c/5d — BodyPix scalability & utilization", bodypix,
+              {{"baseline (2 TPUs/cam)", bodypixBaseline},
+               {"MicroEdge w/ W.P.", bodypixWp}},
+              {2, 4, 6});
+
+  std::cout << "\nPaper shape: the 1.2-unit segmentation model forces the\n"
+               "baseline to dedicate 2 TPUs per camera (3 cameras on 6 TPUs,\n"
+               "60% utilization); W.P. packs 5 cameras at ~100%.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 6 — MicroEdge performance under the MAF-derived trace workload.
+//
+// Replays the synthetic Azure-Functions-like trace (three stream classes:
+// 24x7 detection, sparse classification, bursty segmentation) through five
+// configurations: the dedicated baseline and the 2x2 of
+// {workload partitioning} x {co-compiling}. Prints Fig. 6a (per-minute mean
+// TPU utilization) and Fig. 6b (camera instances served per minute) as
+// aligned series, plus acceptance totals.
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "testbed/scenarios.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  SchedulingMode mode;
+  bool coCompile;
+};
+
+}  // namespace
+
+int main() {
+  const SimDuration kHorizon = minutes(20);
+  const std::vector<Variant> variants = {
+      {"baseline", SchedulingMode::kBaselineDedicated, true},
+      {"WP+CC", SchedulingMode::kMicroEdgeWp, true},
+      {"WP only", SchedulingMode::kMicroEdgeWp, false},
+      {"CC only", SchedulingMode::kMicroEdgeNoWp, true},
+      {"neither", SchedulingMode::kMicroEdgeNoWp, false},
+  };
+
+  std::vector<TraceRunResult> results;
+  for (const Variant& variant : variants) {
+    TraceScenarioConfig config;
+    config.trace = MafTraceGenerator::paperDefaults();
+    config.trace.horizon = kHorizon;
+    config.trace.seed = 2022;
+    config.capacityUnits = 10.0;  // oversubscribes the 6-TPU pool at peaks
+    config.sampleWindow = minutes(1);
+    config.testbed.mode = variant.mode;
+    config.testbed.enableCoCompile = variant.coCompile;
+    results.push_back(runTraceScenario(config));
+  }
+
+  std::vector<std::string> header = {"minute"};
+  for (const Variant& v : variants) header.push_back(v.label);
+
+  std::cout << banner("Fig. 6a — mean TPU utilization per minute");
+  TextTable utilization(header);
+  std::size_t windows = results.front().utilizationPerWindow.size();
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<std::string> row = {std::to_string(w + 1)};
+    for (const TraceRunResult& r : results) {
+      row.push_back(w < r.utilizationPerWindow.size()
+                        ? fmtDouble(r.utilizationPerWindow[w], 2)
+                        : "-");
+    }
+    utilization.addRow(std::move(row));
+  }
+  std::cout << utilization.render();
+
+  std::cout << banner("Fig. 6b — camera instances served per minute");
+  TextTable active(header);
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<std::string> row = {std::to_string(w + 1)};
+    for (const TraceRunResult& r : results) {
+      row.push_back(w < r.activePerWindow.size()
+                        ? std::to_string(r.activePerWindow[w])
+                        : "-");
+    }
+    active.addRow(std::move(row));
+  }
+  std::cout << active.render();
+
+  std::cout << banner("Acceptance totals over the trace");
+  TextTable totals({"config", "attempted", "accepted", "rejected",
+                    "streams meeting SLO"});
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const TraceRunResult& r = results[v];
+    totals.addRow({variants[v].label, std::to_string(r.attempted),
+                   std::to_string(r.accepted), std::to_string(r.rejected),
+                   strCat(r.slo.streamsMeetingSlo, "/", r.slo.streams)});
+  }
+  std::cout << totals.render();
+
+  std::cout << "\nPaper shape: the baseline's utilization stays flat and low\n"
+               "while MicroEdge configurations run above 0.7 and reach 1.0;\n"
+               "WP+CC serves the most cameras; CC alone beats WP alone\n"
+               "(a TPU hosting multiple models serves more streams than one\n"
+               "stream spread over many TPUs).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 7b — Invoke latency breakdown.
+//
+// Runs the Coral-Pie detection pipeline for the bare-metal baseline (TPU
+// collocated with the application RPi — no network hop) and for MicroEdge
+// (frames transported to a shared TPU Service), and prints the per-frame
+// component means: pre-processing, transmission, inference, post-processing.
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "testbed/testbed.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+namespace {
+
+BreakdownAggregator runVariant(SchedulingMode mode) {
+  TestbedConfig config;
+  config.mode = mode;
+  Testbed testbed(config);
+  CameraDeployment deployment;
+  deployment.name = "cam-0";
+  deployment.model = zoo::kSsdMobileNetV2;
+  deployment.fps = 15.0;
+  deployment.maxFrames = 1000;  // the paper's 1000-frame campus clip
+  auto camera = testbed.deployCamera(deployment);
+  if (!camera.isOk()) {
+    std::cerr << "deploy failed: " << camera.status() << "\n";
+    std::exit(1);
+  }
+  testbed.run(seconds(70));  // 1000 frames at 15 FPS = 66.7 s
+  return (*camera)->breakdown();
+}
+
+}  // namespace
+
+int main() {
+  BreakdownAggregator baseline = runVariant(SchedulingMode::kBaselineDedicated);
+  BreakdownAggregator microedge = runVariant(SchedulingMode::kMicroEdgeWp);
+
+  std::cout << banner("Fig. 7b — Invoke latency breakdown (Coral-Pie)");
+  TextTable table({"component", "baseline (ms)", "MicroEdge (ms)"});
+  auto row = [&](const char* label, const DurationSummary& b,
+                 const DurationSummary& m) {
+    table.addRow({label, fmtDouble(b.meanMs(), 2), fmtDouble(m.meanMs(), 2)});
+  };
+  row("pre-processing", baseline.preprocess(), microedge.preprocess());
+  table.addRow({"transmission", fmtDouble(baseline.meanTransmissionMs(), 2),
+                fmtDouble(microedge.meanTransmissionMs(), 2)});
+  row("queue delay", baseline.queueDelay(), microedge.queueDelay());
+  row("inference", baseline.inference(), microedge.inference());
+  row("post-processing", baseline.postprocess(), microedge.postprocess());
+  row("end-to-end", baseline.endToEnd(), microedge.endToEnd());
+  std::cout << table.render();
+  std::cout << "\nframes measured: baseline " << baseline.count()
+            << ", MicroEdge " << microedge.count() << "\n";
+
+  std::cout << "\nPaper shape: the dominant MicroEdge-specific cost is the\n"
+               "~8 ms transmission of the pre-processed frame to the TPU\n"
+               "Service; the total (~31-35 ms) stays far inside the 66.7 ms\n"
+               "budget of a 15 FPS stream, so sharing costs latency headroom\n"
+               "the application never needed.\n";
+  return 0;
+}

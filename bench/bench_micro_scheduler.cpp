@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks for the control-plane hot paths:
+//   - Algorithm 1 admission at pool sizes 1..128 (the §4.2 O(M) claim);
+//   - workload-partitioned admission;
+//   - smooth-WRR routing;
+//   - co-compile planning;
+//   - DES event throughput;
+//   - YAML pod-spec parsing.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/admission.hpp"
+#include "dataplane/wrr.hpp"
+#include "models/zoo.hpp"
+#include "orch/spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace microedge {
+namespace {
+
+void BM_AdmissionFirstFit(benchmark::State& state) {
+  ModelRegistry zoo = zoo::standardZoo();
+  const auto tpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TpuPool pool;
+    for (int i = 0; i < tpus; ++i) {
+      Status s = pool.addTpu("tpu-" + std::to_string(i), 6.9);
+      benchmark::DoNotOptimize(&s);
+    }
+    AdmissionConfig config;
+    config.enableWorkloadPartitioning = false;
+    AdmissionController admission(pool, zoo, config);
+    // Fill all but the last TPU so the scan really walks O(M) entries.
+    for (int i = 0; i < tpus - 1; ++i) {
+      auto r = admission.admit(static_cast<std::uint64_t>(i),
+                               zoo::kMobileNetV1, TpuUnit::fromMilli(900));
+      benchmark::DoNotOptimize(&r);
+    }
+    state.ResumeTiming();
+    auto result = admission.admit(10000, zoo::kMobileNetV1,
+                                  TpuUnit::fromMilli(500));
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetComplexityN(tpus);
+}
+BENCHMARK(BM_AdmissionFirstFit)->RangeMultiplier(2)->Range(1, 128)->Complexity();
+
+void BM_AdmissionWithPartitioning(benchmark::State& state) {
+  ModelRegistry zoo = zoo::standardZoo();
+  const auto tpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TpuPool pool;
+    for (int i = 0; i < tpus; ++i) {
+      Status s = pool.addTpu("tpu-" + std::to_string(i), 6.9);
+      benchmark::DoNotOptimize(&s);
+    }
+    AdmissionController admission(pool, zoo, {});
+    for (int i = 0; i < tpus; ++i) {
+      auto r = admission.admit(static_cast<std::uint64_t>(i),
+                               zoo::kMobileNetV1, TpuUnit::fromMilli(900));
+      benchmark::DoNotOptimize(&r);
+    }
+    state.ResumeTiming();
+    // Needs 0.1 slices from several TPUs.
+    auto result = admission.admit(10000, zoo::kMobileNetV1,
+                                  TpuUnit::fromMilli(
+                                      std::min<std::int64_t>(tpus * 100, 900)));
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_AdmissionWithPartitioning)->RangeMultiplier(4)->Range(4, 64);
+
+void BM_SmoothWrrPick(benchmark::State& state) {
+  SmoothWrr wrr;
+  std::vector<WrrTarget> targets;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    targets.push_back(
+        WrrTarget{"tpu-" + std::to_string(i),
+                  static_cast<std::uint32_t>(100 + 37 * i)});
+  }
+  Status s = wrr.setTargets(targets);
+  benchmark::DoNotOptimize(&s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrr.pick());
+  }
+}
+BENCHMARK(BM_SmoothWrrPick)->Arg(2)->Arg(6)->Arg(16);
+
+void BM_CoCompilePlan(benchmark::State& state) {
+  ModelRegistry zoo = zoo::standardZoo();
+  CoCompiler compiler(zoo);
+  TpuState tpu("tpu-00", 6.9);
+  tpu.addAllocation(zoo::kMobileNetV1, TpuUnit::fromMilli(100));
+  const ModelInfo& model = zoo.at(zoo::kUNetV2);
+  for (auto _ : state) {
+    auto plan = compiler.planAdd(tpu, model);
+    benchmark::DoNotOptimize(&plan);
+  }
+}
+BENCHMARK(BM_CoCompilePlan);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    const int events = 10000;
+    int fired = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule(kSimEpoch + microseconds(i % 97), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_PodSpecParse(benchmark::State& state) {
+  const std::string yaml =
+      "name: camera-03\n"
+      "image: coral-pie:1.4\n"
+      "fps: 15\n"
+      "resources:\n"
+      "  cpu: 500m\n"
+      "  memory: 256Mi\n"
+      "  tpu-units: 0.35\n"
+      "  model: ssd-mobilenet-v2\n"
+      "labels:\n"
+      "  app: coral-pie\n";
+  for (auto _ : state) {
+    auto spec = podSpecFromYaml(yaml);
+    benchmark::DoNotOptimize(&spec);
+  }
+}
+BENCHMARK(BM_PodSpecParse);
+
+}  // namespace
+}  // namespace microedge
+

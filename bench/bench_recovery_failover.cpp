@@ -1,0 +1,78 @@
+// Extension bench — TPU failure recovery (the paper's §8 future-work item).
+//
+// Loads the reference cluster to three operating points, kills one of the
+// six TPUs, and reports what recovery does: pods replanned onto survivors,
+// pods explicitly evicted (never silent oversubscription), and whether the
+// surviving streams hold their 15 FPS SLO through the event.
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "testbed/testbed.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+namespace {
+
+struct FailoverRow {
+  int cameras;
+  FailureRecovery::Report report;
+  std::size_t survivorsMeetingSlo = 0;
+  std::size_t survivors = 0;
+  double utilizationAfter = 0.0;
+};
+
+FailoverRow runFailover(int cameras) {
+  Testbed testbed;
+  for (int i = 0; i < cameras; ++i) {
+    CameraDeployment deployment;
+    deployment.name = strCat("cam-", i);
+    deployment.model = zoo::kSsdMobileNetV2;
+    auto result = testbed.deployCamera(deployment);
+    if (!result.isOk()) {
+      std::cerr << "deploy failed: " << result.status() << "\n";
+      std::exit(1);
+    }
+  }
+  testbed.run(seconds(10));
+  FailoverRow row;
+  row.cameras = cameras;
+  row.report = testbed.failTpu("tpu-02");
+  testbed.run(seconds(20));
+  row.survivors = testbed.liveCameraCount();
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    if (camera->slo().sloMet()) ++row.survivorsMeetingSlo;
+  }
+  row.utilizationAfter = testbed.meanTpuUtilization();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  // Recovery logs every eviction; keep the report table clean.
+  Logger::instance().setLevel(LogLevel::kOff);
+  std::cout << banner(
+      "Extension — TPU failure recovery (1 of 6 TPUs dies at t=10s)");
+  TextTable table({"cameras", "affected", "recovered", "evicted",
+                   "survivors meeting SLO"});
+  for (int cameras : {6, 12, 17}) {
+    FailoverRow row = runFailover(cameras);
+    table.addRow({std::to_string(row.cameras),
+                  std::to_string(row.report.affectedPods),
+                  std::to_string(row.report.recoveredPods),
+                  std::to_string(row.report.evictedPods),
+                  strCat(row.survivorsMeetingSlo, "/", row.survivors)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nReading: with slack (6 or 12 cameras = 2.1 / 4.2 units on\n"
+               "5 surviving TPUs) every affected pod is replanned and no\n"
+               "stream misses a frame budget for long. At the 17-camera\n"
+               "operating point (5.95 units > 5 TPUs) recovery sheds exactly\n"
+               "the load that no longer fits — admission guarantees survive\n"
+               "the failure instead of degrading everyone.\n";
+  return 0;
+}

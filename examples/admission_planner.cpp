@@ -1,0 +1,110 @@
+// Admission planner CLI: capacity-plan a MicroEdge cluster from a YAML
+// scenario without touching hardware.
+//
+//   admission_planner [scenario.yaml] [--simulate[=seconds]]
+//
+// Planning shows placements/rejections instantly; --simulate additionally
+// streams the fleet on the simulated data plane and reports measured FPS,
+// latency and utilization. With no scenario file, a built-in demo runs: a
+// mixed fleet on the paper's 6-TPU pool, showing fractional placement,
+// workload partitioning, the Model Size Rule steering co-residency, and
+// explicit rejections.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "models/zoo.hpp"
+#include "testbed/planner.hpp"
+
+using namespace microedge;
+
+namespace {
+
+constexpr const char* kDemoScenario = R"(# MicroEdge capacity-planning demo
+cluster:
+  tpus: 6
+scheduler:
+  mode: microedge-wp
+  co-compile: true
+  strategy: first-fit
+pods:
+  - name: gate-cam-0
+    model: ssd-mobilenet-v2
+    fps: 15
+  - name: gate-cam-1
+    model: ssd-mobilenet-v2
+    fps: 15
+  - name: gate-cam-2
+    model: ssd-mobilenet-v2
+    fps: 15
+  - name: lobby-seg-0          # 1.2 units: must be partitioned
+    model: bodypix-mobilenet-v1
+    fps: 15
+  - name: lobby-seg-1
+    model: bodypix-mobilenet-v1
+    fps: 15
+  - name: kiosk-classifier     # tiny; co-compiles into residuals
+    model: mobilenet-v1
+    fps: 30
+  - name: heavy-classifier     # 25 MB of parameters: needs an empty TPU
+    model: resnet-50
+    tpu-units: 0.9
+  - name: late-arrival         # likely rejected once the pool is full
+    model: efficientdet-lite0
+    fps: 15
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string yaml;
+  bool simulate = false;
+  double simulateSeconds = 30.0;
+  std::string scenarioPath;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--simulate", 0) == 0) {
+      simulate = true;
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        simulateSeconds = std::atof(arg.c_str() + eq + 1);
+        if (simulateSeconds <= 0) simulateSeconds = 30.0;
+      }
+    } else {
+      scenarioPath = arg;
+    }
+  }
+
+  if (!scenarioPath.empty()) {
+    std::ifstream file(scenarioPath);
+    if (!file) {
+      std::cerr << "cannot open " << scenarioPath << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    yaml = buffer.str();
+  } else {
+    std::cout << "(no scenario file given; using the built-in demo)\n\n"
+              << kDemoScenario << "\n";
+    yaml = kDemoScenario;
+    simulate = true;  // the demo shows the full flow
+  }
+
+  ModelRegistry registry = zoo::standardZoo();
+  auto scenario = scenarioFromYaml(yaml, registry);
+  if (!scenario.isOk()) {
+    std::cerr << "scenario error: " << scenario.status() << "\n";
+    return 1;
+  }
+  PlannerResult result = planScenario(*scenario, registry);
+  std::cout << renderPlan(*scenario, result);
+
+  if (simulate) {
+    SimDuration horizon = secondsF(simulateSeconds);
+    SimulationOutcome outcome = simulateScenario(*scenario, horizon);
+    std::cout << renderSimulation(*scenario, outcome, horizon);
+  }
+  return result.rejected > 0 && !scenarioPath.empty() ? 2 : 0;
+}

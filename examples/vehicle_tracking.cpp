@@ -1,0 +1,71 @@
+// Vehicle tracking: a Coral-Pie-style geo-distributed camera chain.
+//
+// Four cameras along a corridor run the full Coral-Pie pipeline — NoScope
+// difference detector, SSD MobileNet V2 detection on shared TPUs, and a
+// re-identification stage on a second RPi that receives upstream
+// notifications and constructs space-time tracks. All four share the
+// MicroEdge TPU pool (4 x 0.35 = 1.4 TPUs instead of 4 dedicated ones).
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "testbed/testbed.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+int main() {
+  Testbed testbed;
+
+  constexpr int kCameras = 4;
+  std::vector<CoralPieApp*> chain;
+  for (int i = 0; i < kCameras; ++i) {
+    CameraDeployment deployment;
+    deployment.name = "corridor-cam-" + std::to_string(i);
+    deployment.model = zoo::kSsdMobileNetV2;
+    deployment.fps = 15.0;
+    deployment.useDiffDetector = true;
+    auto app = testbed.deployCoralPie(deployment);
+    if (!app.isOk()) {
+      std::cerr << "deploy failed: " << app.status() << "\n";
+      return 1;
+    }
+    chain.push_back(*app);
+  }
+  // Wire the corridor: camera i notifies camera i+1 about leaving vehicles.
+  for (int i = 0; i + 1 < kCameras; ++i) {
+    chain[i]->linkDownstream(chain[i + 1]);
+  }
+  std::cout << "deployed " << kCameras
+            << " Coral-Pie instances (detection pod + re-id pod each);\n"
+            << "TPU pool load: "
+            << testbed.pool().totalLoad().toString() << " units across "
+            << testbed.pool().usedTpuCount() << " TPU(s)\n\n"
+            << "running 3 minutes of corridor traffic...\n\n";
+
+  testbed.run(minutes(3));
+
+  TextTable table({"camera", "frames inferred", "frames filtered",
+                   "vehicles seen", "re-identified", "new tracks"});
+  for (int i = 0; i < kCameras; ++i) {
+    CoralPieApp* app = chain[i];
+    const DiffDetector* diff = app->detection().diffDetector();
+    table.addRow({app->name(),
+                  std::to_string(app->detection().slo().completed()),
+                  std::to_string(diff ? diff->suppressedCount() : 0),
+                  std::to_string(app->vehiclesReported()),
+                  std::to_string(app->reid().reIdentifiedCount()),
+                  std::to_string(app->reid().newTrackCount())});
+  }
+  std::cout << table.render();
+
+  SloReport slo = testbed.sloReport();
+  std::cout << "\nstreams meeting SLO: " << slo.streamsMeetingSlo << "/"
+            << slo.streams << ", p99 frame latency "
+            << fmtDouble(slo.p99LatencyMs, 1) << " ms\n";
+  std::cout << "mean TPU utilization: "
+            << fmtDouble(testbed.meanTpuUtilization() * 100.0, 1)
+            << "% (the difference detector suppresses quiet-road frames,\n"
+               "leaving even more headroom than the 0.35-unit profile)\n";
+  return 0;
+}

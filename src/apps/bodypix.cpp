@@ -1,0 +1,32 @@
+#include "apps/bodypix.hpp"
+
+#include <algorithm>
+
+namespace microedge {
+
+namespace {
+CameraPipeline::Config pipelineConfig(const BodyPixApp::Config& config) {
+  CameraPipeline::Config out;
+  out.name = config.name + "/segmentation";
+  out.fps = config.fps;
+  out.maxFrames = config.maxFrames;
+  out.slo = config.slo;
+  return out;
+}
+}  // namespace
+
+BodyPixApp::BodyPixApp(Simulator& sim, std::unique_ptr<TpuClient> client,
+                       Config config, Pcg32 rng)
+    : config_(std::move(config)), rng_(rng.split()),
+      pipeline_(sim, std::move(client), pipelineConfig(config_), rng.split()) {
+  pipeline_.setFrameHook([this](const FrameBreakdown& frame) {
+    (void)frame;
+    double occ = std::clamp(
+        rng_.gaussian(config_.meanOccupancy, config_.occupancyJitter), 0.0,
+        1.0);
+    occupancy_.add(occ);
+    if (occ > 0.01) ++framesWithPeople_;
+  });
+}
+
+}  // namespace microedge

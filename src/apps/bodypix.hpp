@@ -1,0 +1,54 @@
+#pragma once
+
+// Google Coral BodyPix: real-time person segmentation — the paper's second
+// exemplar application, chosen because its model needs *more* than one TPU
+// unit at 15 FPS (1.2), exercising workload partitioning. The bare-metal
+// baseline attaches two TPUs per RPi and alternates frames between them.
+//
+// Application logic past the model is light: decode the returned mask and
+// derive occupancy (person pixels / frame), which downstream consumers use
+// for crowd analytics.
+
+#include <memory>
+#include <string>
+
+#include "apps/pipeline.hpp"
+#include "util/histogram.hpp"
+
+namespace microedge {
+
+class BodyPixApp {
+ public:
+  struct Config {
+    std::string name;
+    double fps = 15.0;
+    std::uint64_t maxFrames = 0;
+    SloMonitor::Config slo{};
+    // Scene occupancy model: mean fraction of mask pixels that are person.
+    double meanOccupancy = 0.18;
+    double occupancyJitter = 0.08;
+  };
+
+  BodyPixApp(Simulator& sim, std::unique_ptr<TpuClient> client, Config config,
+             Pcg32 rng);
+
+  void start() { pipeline_.start(); }
+  void stop() { pipeline_.stop(); }
+
+  const std::string& name() const { return config_.name; }
+  CameraPipeline& pipeline() { return pipeline_; }
+  const CameraPipeline& pipeline() const { return pipeline_; }
+
+  // Mask-derived occupancy statistics.
+  const Summary& occupancy() const { return occupancy_; }
+  std::uint64_t framesWithPeople() const { return framesWithPeople_; }
+
+ private:
+  Config config_;
+  Pcg32 rng_;
+  CameraPipeline pipeline_;
+  Summary occupancy_;
+  std::uint64_t framesWithPeople_ = 0;
+};
+
+}  // namespace microedge

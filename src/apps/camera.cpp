@@ -1,0 +1,24 @@
+#include "apps/camera.hpp"
+
+#include <cassert>
+
+namespace microedge {
+
+CameraStream::CameraStream(Simulator& sim, Config config, FrameCallback onFrame)
+    : config_(config), onFrame_(std::move(onFrame)),
+      task_(sim, framePeriod(config.fps), [this] { emitFrame(); }) {
+  assert(config_.fps > 0.0 && "camera FPS must be positive");
+}
+
+void CameraStream::start() { task_.start(); }
+
+void CameraStream::emitFrame() {
+  ++frames_;
+  std::uint64_t id = frames_;
+  if (config_.maxFrames != 0 && frames_ >= config_.maxFrames) {
+    task_.stop();
+  }
+  onFrame_(id);
+}
+
+}  // namespace microedge

@@ -1,0 +1,64 @@
+#include "apps/cascade.hpp"
+
+#include "util/logging.hpp"
+
+namespace microedge {
+
+CascadeApp::CascadeApp(Simulator& sim, std::unique_ptr<TpuClient> gateClient,
+                       std::unique_ptr<TpuClient> expertClient, Config config,
+                       Pcg32 rng)
+    : sim_(sim), gate_(std::move(gateClient)), expert_(std::move(expertClient)),
+      config_(std::move(config)), scene_(config_.scene, rng.split()),
+      rng_(rng.split()), slo_(config_.slo),
+      camera_(sim, CameraStream::Config{config_.fps, config_.maxFrames},
+              [this](std::uint64_t id) { onFrame(id); }) {}
+
+void CascadeApp::stop() {
+  camera_.stop();
+  gate_->stop();
+  expert_->stop();
+}
+
+double CascadeApp::escalationRate() const {
+  return gateFrames_ == 0
+             ? 0.0
+             : static_cast<double>(expertFrames_) /
+                   static_cast<double>(gateFrames_);
+}
+
+void CascadeApp::onFrame(std::uint64_t frameId) {
+  (void)frameId;
+  // Stage 1: every frame runs the cheap gate model.
+  slo_.recordSubmitted(sim_.now());
+  ++gateFrames_;
+  bool interesting = scene_.activeAt(sim_.now()) ||
+                     rng_.bernoulli(config_.quietEscalationRate);
+  Status s = gate_->invoke([this, interesting](const FrameBreakdown& gateFrame) {
+    if (!interesting) {
+      gateOnly_.add(gateFrame);
+      slo_.recordCompleted(gateFrame.completed, gateFrame.endToEnd());
+      return;
+    }
+    // Stage 2: escalate to the expert model.
+    ++expertFrames_;
+    SimTime gateSubmitted = gateFrame.submitted;
+    Status st = expert_->invoke(
+        [this, gateFrame, gateSubmitted](const FrameBreakdown& expertFrame) {
+          fullCascade_.add(expertFrame);
+          SimDuration total = expertFrame.completed - gateSubmitted;
+          cascadeLatency_.add(total);
+          slo_.recordCompleted(expertFrame.completed, total);
+        });
+    if (!st.isOk()) {
+      ME_LOG(kWarning) << "cascade " << config_.name
+                       << ": expert invoke failed: " << st.toString();
+      slo_.recordCompleted(gateFrame.completed, gateFrame.endToEnd());
+    }
+  });
+  if (!s.isOk()) {
+    ME_LOG(kWarning) << "cascade " << config_.name
+                     << ": gate invoke failed: " << s.toString();
+  }
+}
+
+}  // namespace microedge

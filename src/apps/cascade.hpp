@@ -1,0 +1,100 @@
+#pragma once
+
+// Multi-model cascade pipeline (the paper's §8 future-work item: "data
+// plane optimization for pipelines that involve multiple models").
+//
+// The NoScope-style cascade generalizes the difference detector: every
+// frame runs a cheap *gate* model (e.g. MobileNet V1, 4.5 ms), and only
+// frames the gate flags as interesting continue to the expensive *expert*
+// model (e.g. SSD MobileNet V2 or UNet). From MicroEdge's point of view the
+// two stages are two tenants with very different duty cycles:
+//
+//   gate:   units = gateLatency / framePeriod            (every frame)
+//   expert: units = expertLatency * hitRate / framePeriod (filtered frames)
+//
+// which is exactly the fractional-sharing shape the extended scheduler
+// exploits — the expert's small residual duty cycle packs into TPUs other
+// tenants already occupy. Each stage has its own TPU client (in MicroEdge
+// terms, the stages are separate pods with separate model/tpu-units knobs);
+// this class chains them and accounts for end-to-end latency across both
+// hops.
+
+#include <memory>
+#include <string>
+
+#include "apps/camera.hpp"
+#include "apps/diff_detector.hpp"
+#include "dataplane/tpu_client.hpp"
+#include "metrics/breakdown.hpp"
+#include "metrics/slo.hpp"
+#include "util/rng.hpp"
+
+namespace microedge {
+
+class CascadeApp {
+ public:
+  struct Config {
+    std::string name;
+    double fps = 15.0;
+    std::uint64_t maxFrames = 0;
+    // Scene-content process deciding which gated frames are "interesting";
+    // its activity statistics define the expert's hit rate.
+    DiffDetector::Config scene{};
+    // Frames the gate escalates even when the scene is quiet (model
+    // uncertainty near the threshold).
+    double quietEscalationRate = 0.08;
+    SloMonitor::Config slo{};
+  };
+
+  CascadeApp(Simulator& sim, std::unique_ptr<TpuClient> gateClient,
+             std::unique_ptr<TpuClient> expertClient, Config config,
+             Pcg32 rng);
+
+  void start() { camera_.start(); }
+  void stop();
+
+  const std::string& name() const { return config_.name; }
+  TpuClient& gateClient() { return *gate_; }
+  TpuClient& expertClient() { return *expert_; }
+
+  // Measured hit rate: expert invocations / gate invocations.
+  double escalationRate() const;
+  std::uint64_t gateFrames() const { return gateFrames_; }
+  std::uint64_t expertFrames() const { return expertFrames_; }
+
+  // Latency of gate-only frames vs full-cascade frames.
+  const BreakdownAggregator& gateOnly() const { return gateOnly_; }
+  const BreakdownAggregator& fullCascade() const { return fullCascade_; }
+  // End-to-end across both stages for escalated frames.
+  const DurationSummary& cascadeLatency() const { return cascadeLatency_; }
+  SloMonitor& slo() { return slo_; }
+  const SloMonitor& slo() const { return slo_; }
+
+  // Expected duty cycles for admission, given profiled latencies.
+  static double gateUnits(const ModelInfo& gate, double fps) {
+    return gate.tpuUnitsAt(fps);
+  }
+  static double expertUnits(const ModelInfo& expert, double fps,
+                            double expectedHitRate) {
+    return expert.tpuUnitsAt(fps) * expectedHitRate;
+  }
+
+ private:
+  void onFrame(std::uint64_t frameId);
+
+  Simulator& sim_;
+  std::unique_ptr<TpuClient> gate_;
+  std::unique_ptr<TpuClient> expert_;
+  Config config_;
+  DiffDetector scene_;
+  Pcg32 rng_;
+  SloMonitor slo_;
+  BreakdownAggregator gateOnly_;
+  BreakdownAggregator fullCascade_;
+  DurationSummary cascadeLatency_;
+  std::uint64_t gateFrames_ = 0;
+  std::uint64_t expertFrames_ = 0;
+  CameraStream camera_;
+};
+
+}  // namespace microedge

@@ -1,0 +1,39 @@
+#include "apps/diff_detector.hpp"
+
+namespace microedge {
+
+DiffDetector::DiffDetector(Config config, Pcg32 rng)
+    : config_(config), rng_(rng) {
+  // Start in a quiet phase of random length.
+  active_ = false;
+  phaseEnd_ = kSimEpoch + secondsF(rng_.exponential(
+                              toSeconds(config_.meanQuietGap)));
+}
+
+void DiffDetector::advanceTo(SimTime now) {
+  while (now >= phaseEnd_) {
+    active_ = !active_;
+    if (active_) ++activePhases_;
+    double mean = toSeconds(active_ ? config_.meanActivityDwell
+                                    : config_.meanQuietGap);
+    phaseEnd_ += secondsF(rng_.exponential(mean));
+  }
+}
+
+bool DiffDetector::activeAt(SimTime now) {
+  advanceTo(now);
+  return active_;
+}
+
+bool DiffDetector::shouldForward(SimTime now) {
+  advanceTo(now);
+  bool forward = active_ || rng_.bernoulli(config_.quietPassRate);
+  if (forward) {
+    ++forwarded_;
+  } else {
+    ++suppressed_;
+  }
+  return forward;
+}
+
+}  // namespace microedge

@@ -1,0 +1,41 @@
+#include "apps/pipeline.hpp"
+
+#include "util/logging.hpp"
+
+namespace microedge {
+
+CameraPipeline::CameraPipeline(Simulator& sim,
+                               std::unique_ptr<TpuClient> client,
+                               Config config, Pcg32 rng)
+    : sim_(sim), client_(std::move(client)), config_(std::move(config)),
+      slo_(config_.slo),
+      camera_(sim, CameraStream::Config{config_.fps, config_.maxFrames},
+              [this](std::uint64_t id) { onFrame(id); }) {
+  if (config_.diffDetector.has_value()) {
+    diff_.emplace(*config_.diffDetector, rng.split());
+  }
+}
+
+void CameraPipeline::stop() {
+  camera_.stop();
+  client_->stop();
+}
+
+void CameraPipeline::onFrame(std::uint64_t frameId) {
+  (void)frameId;
+  if (diff_.has_value() && !diff_->shouldForward(sim_.now())) {
+    return;  // frame filtered before the expensive model
+  }
+  slo_.recordSubmitted(sim_.now());
+  Status s = client_->invoke([this](const FrameBreakdown& frame) {
+    slo_.recordCompleted(frame.completed, frame.endToEnd());
+    breakdown_.add(frame);
+    if (frameHook_) frameHook_(frame);
+  });
+  if (!s.isOk()) {
+    ME_LOG(kWarning) << "pipeline " << config_.name
+                     << ": invoke rejected: " << s.toString();
+  }
+}
+
+}  // namespace microedge

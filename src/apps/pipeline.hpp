@@ -1,0 +1,71 @@
+#pragma once
+
+// The generic camera-application pipeline (Fig. 2): frame source ->
+// (optional difference detector) -> pre-process -> ML inference ->
+// post-process, with per-stream SLO monitoring and latency breakdowns.
+//
+// The pre/infer/post stages execute inside the TpuClient invoke path; this
+// class owns the cadence, the filtering, and the metrics.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/camera.hpp"
+#include "apps/diff_detector.hpp"
+#include "dataplane/tpu_client.hpp"
+#include "metrics/breakdown.hpp"
+#include "metrics/slo.hpp"
+
+namespace microedge {
+
+class CameraPipeline {
+ public:
+  struct Config {
+    std::string name;
+    double fps = 15.0;
+    std::uint64_t maxFrames = 0;
+    // Engage the NoScope-style difference detector stage.
+    std::optional<DiffDetector::Config> diffDetector;
+    SloMonitor::Config slo;
+  };
+  // Fired after each frame finishes post-processing (optional app hook —
+  // Coral-Pie attaches re-identification here).
+  using FrameHook = std::function<void(const FrameBreakdown&)>;
+
+  CameraPipeline(Simulator& sim, std::unique_ptr<TpuClient> client,
+                 Config config, Pcg32 rng);
+
+  void start() { camera_.start(); }
+  // Stops frame generation and the client; in-flight frames drain.
+  void stop();
+  bool running() const { return camera_.running(); }
+
+  void setFrameHook(FrameHook hook) { frameHook_ = std::move(hook); }
+
+  const std::string& name() const { return config_.name; }
+  const Config& config() const { return config_; }
+  TpuClient& client() { return *client_; }
+  CameraStream& camera() { return camera_; }
+  DiffDetector* diffDetector() {
+    return diff_.has_value() ? &*diff_ : nullptr;
+  }
+  SloMonitor& slo() { return slo_; }
+  const SloMonitor& slo() const { return slo_; }
+  BreakdownAggregator& breakdown() { return breakdown_; }
+  const BreakdownAggregator& breakdown() const { return breakdown_; }
+
+ private:
+  void onFrame(std::uint64_t frameId);
+
+  Simulator& sim_;
+  std::unique_ptr<TpuClient> client_;
+  Config config_;
+  std::optional<DiffDetector> diff_;
+  SloMonitor slo_;
+  BreakdownAggregator breakdown_;
+  FrameHook frameHook_;
+  CameraStream camera_;
+};
+
+}  // namespace microedge

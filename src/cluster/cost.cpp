@@ -1,0 +1,3 @@
+#include "cluster/cost.hpp"
+
+// Header-only; the translation unit anchors the library target.

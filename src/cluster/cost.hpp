@@ -1,0 +1,21 @@
+#pragma once
+
+// Cost-of-ownership model (Table 1).
+//
+// The paper does not list unit prices; solving its Table 1 totals
+// (17 RPis + 17 TPUs = $2550, 17 RPis + 6 TPUs = $1725) gives $75 per RPi
+// and $75 per TPU. The remote control-plane server is excluded, as in the
+// paper (footnote 4: amortized across many clusters).
+
+namespace microedge {
+
+struct CostModel {
+  double rpiUnitCost = 75.0;
+  double tpuUnitCost = 75.0;
+
+  double clusterCost(int rpis, int tpus) const {
+    return rpiUnitCost * rpis + tpuUnitCost * tpus;
+  }
+};
+
+}  // namespace microedge

@@ -1,0 +1,3 @@
+#include "cluster/node.hpp"
+
+// Header-only for now; the translation unit anchors the library target.

@@ -1,0 +1,77 @@
+#include "cluster/topology.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+namespace {
+std::string indexName(const char* prefix, int i) {
+  return strCat(prefix, i < 10 ? "0" : "", i);
+}
+}  // namespace
+
+ClusterTopology::ClusterTopology(Simulator& sim, const ModelRegistry& registry,
+                                 TopologySpec spec)
+    : spec_(spec), network_(spec.networkConfig) {
+  int tpuIndex = 0;
+  for (int i = 0; i < spec_.tRpiCount; ++i) {
+    auto node = std::make_unique<RpiNode>(indexName("trpi-", i),
+                                          spec_.nodeResources);
+    for (int t = 0; t < spec_.tpusPerTRpi; ++t) {
+      auto tpu = std::make_unique<TpuDevice>(
+          sim, registry, indexName("tpu-", tpuIndex++), spec_.tpuConfig);
+      node->attachTpu(tpu.get());
+      tpuById_[tpu->id()] = tpu.get();
+      tpuHost_[tpu->id()] = node->name();
+      tpus_.push_back(std::move(tpu));
+    }
+    nodeByName_[node->name()] = node.get();
+    nodes_.push_back(std::move(node));
+  }
+  for (int i = 0; i < spec_.vRpiCount; ++i) {
+    auto node = std::make_unique<RpiNode>(indexName("vrpi-", i),
+                                          spec_.nodeResources);
+    nodeByName_[node->name()] = node.get();
+    nodes_.push_back(std::move(node));
+  }
+}
+
+std::vector<RpiNode*> ClusterTopology::vRpis() const {
+  std::vector<RpiNode*> out;
+  for (const auto& n : nodes_) {
+    if (!n->isTRpi()) out.push_back(n.get());
+  }
+  return out;
+}
+
+std::vector<RpiNode*> ClusterTopology::tRpis() const {
+  std::vector<RpiNode*> out;
+  for (const auto& n : nodes_) {
+    if (n->isTRpi()) out.push_back(n.get());
+  }
+  return out;
+}
+
+RpiNode* ClusterTopology::findNode(const std::string& name) const {
+  auto it = nodeByName_.find(name);
+  return it == nodeByName_.end() ? nullptr : it->second;
+}
+
+TpuDevice* ClusterTopology::findTpu(const std::string& tpuId) const {
+  auto it = tpuById_.find(tpuId);
+  return it == tpuById_.end() ? nullptr : it->second;
+}
+
+const std::string& ClusterTopology::nodeOfTpu(const std::string& tpuId) const {
+  auto it = tpuHost_.find(tpuId);
+  assert(it != tpuHost_.end() && "unknown TPU id");
+  return it->second;
+}
+
+TopologySpec ClusterTopology::microEdgeDefault() {
+  return TopologySpec{};  // 19 vRPis + 6 tRPis, 1 TPU each
+}
+
+}  // namespace microedge

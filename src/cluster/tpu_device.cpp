@@ -1,0 +1,192 @@
+#include "cluster/tpu_device.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+namespace {
+
+SimDuration transferTime(double megabytes, double bandwidthMBps) {
+  if (megabytes <= 0.0) return SimDuration::zero();
+  return secondsF(megabytes / bandwidthMBps);
+}
+
+}  // namespace
+
+TpuDevice::TpuDevice(Simulator& sim, const ModelRegistry& registry,
+                     std::string id, TpuHardwareConfig config)
+    : sim_(sim), registry_(registry), id_(std::move(id)), config_(config) {}
+
+Status TpuDevice::loadModels(const std::vector<std::string>& names) {
+  if (names.empty()) return invalidArgument("loadModels: empty composite");
+  double total = 0.0;
+  for (const auto& n : names) {
+    auto info = registry_.find(n);
+    if (!info.isOk()) return info.status();
+    total += info->paramSizeMb;
+  }
+  // A composite larger than parameter memory is legal (Coral partially
+  // caches low-priority members), but the control plane's Model Size Rule
+  // normally prevents it; log so ablation runs are visible.
+  if (total > config_.paramMemoryMb) {
+    ME_LOG(kDebug) << "TPU " << id_ << ": composite of " << total
+                   << " MB exceeds " << config_.paramMemoryMb
+                   << " MB; partial caching engaged";
+  }
+
+  // The load is processed in FIFO order with inferences: pushing the new
+  // composite occupies the device for the transfer time.
+  Pending job;
+  job.model.clear();  // empty model marks a load job
+  job.enqueueTime = sim_.now();
+  job.done = nullptr;
+  loadQueue_.push_back(names);
+  queue_.push_back(std::move(job));
+  if (!busy_) startNext();
+  return Status::ok();
+}
+
+Status TpuDevice::invoke(const std::string& model, InvokeCallback done) {
+  if (!registry_.contains(model)) {
+    return notFound(strCat("invoke: unknown model ", model));
+  }
+  Pending p;
+  p.model = model;
+  p.enqueueTime = sim_.now();
+  p.done = std::move(done);
+  queue_.push_back(std::move(p));
+  if (!busy_) startNext();
+  return Status::ok();
+}
+
+bool TpuDevice::isResident(const std::string& model) const {
+  return std::find(resident_.begin(), resident_.end(), model) !=
+         resident_.end();
+}
+
+double TpuDevice::residentParamMb() const {
+  double total = 0.0;
+  for (const auto& m : resident_) total += registry_.at(m).paramSizeMb;
+  return total;
+}
+
+double TpuDevice::cachedFraction(const std::string& model) const {
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    if (resident_[i] == model) return cachedFraction_[i];
+  }
+  return 0.0;
+}
+
+SimDuration TpuDevice::busyTime() const {
+  SimDuration busy = completedBusy_;
+  if (busy_) {
+    SimTime upTo = std::min(sim_.now(), currentEnd_);
+    if (upTo > currentStart_) busy += upTo - currentStart_;
+  }
+  return busy;
+}
+
+double TpuDevice::utilizationSince(SimDuration busyAtWindowStart,
+                                   SimTime windowStart) const {
+  SimDuration window = sim_.now() - windowStart;
+  if (window <= SimDuration::zero()) return 0.0;
+  SimDuration busy = busyTime() - busyAtWindowStart;
+  return std::clamp(toSeconds(busy) / toSeconds(window), 0.0, 1.0);
+}
+
+void TpuDevice::recomputeCaching() {
+  cachedFraction_.assign(resident_.size(), 0.0);
+  double remaining = config_.paramMemoryMb;
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    double size = registry_.at(resident_[i]).paramSizeMb;
+    double cached = std::min(size, std::max(remaining, 0.0));
+    cachedFraction_[i] = size > 0.0 ? cached / size : 1.0;
+    remaining -= size;
+  }
+}
+
+SimDuration TpuDevice::streamingPenalty(const std::string& model) const {
+  double fraction = cachedFraction(model);
+  if (fraction >= 1.0) return SimDuration::zero();
+  double uncachedMb = registry_.at(model).paramSizeMb * (1.0 - fraction);
+  return transferTime(uncachedMb, config_.hostToTpuBandwidthMBps);
+}
+
+SimDuration TpuDevice::computeServiceTime(const std::string& model,
+                                          bool* paidSwap,
+                                          bool* paidResidentSwitch) {
+  const ModelInfo& info = registry_.at(model);
+  *paidSwap = false;
+  *paidResidentSwitch = false;
+  SimDuration service = info.inferenceLatency;
+  if (!isResident(model)) {
+    // Full swap: the model's parameters replace the resident set. This is
+    // exactly the overhead the Model Size Rule + co-compiling avoid.
+    *paidSwap = true;
+    ++swaps_;
+    resident_ = {model};
+    recomputeCaching();
+    service += config_.swapOverhead +
+               transferTime(std::min(info.paramSizeMb, config_.paramMemoryMb),
+                            config_.hostToTpuBandwidthMBps);
+    lastExecutedModel_ = model;
+  } else if (lastExecutedModel_ != model) {
+    *paidResidentSwitch = true;
+    ++residentSwitches_;
+    service += config_.residentSwitchPenalty;
+    lastExecutedModel_ = model;
+  }
+  // Partial caching streams the uncached remainder on every inference.
+  service += streamingPenalty(model);
+  return service;
+}
+
+void TpuDevice::startNext() {
+  assert(!busy_);
+  if (queue_.empty()) return;
+  Pending job = std::move(queue_.front());
+  queue_.pop_front();
+
+  SimDuration service;
+  InvokeStats stats;
+  stats.enqueueTime = job.enqueueTime;
+  stats.startTime = sim_.now();
+
+  if (job.model.empty()) {
+    // Load job: install the next queued composite.
+    assert(!loadQueue_.empty());
+    resident_ = std::move(loadQueue_.front());
+    loadQueue_.pop_front();
+    recomputeCaching();
+    // The load leaves the highest-priority member set up for execution; the
+    // first invoke of that model pays no context switch.
+    lastExecutedModel_ = resident_.empty() ? std::string() : resident_.front();
+    service = config_.swapOverhead +
+              transferTime(std::min(residentParamMb(), config_.paramMemoryMb),
+                           config_.hostToTpuBandwidthMBps);
+  } else {
+    ++invocations_;
+    service =
+        computeServiceTime(job.model, &stats.paidSwap, &stats.paidResidentSwitch);
+  }
+
+  busy_ = true;
+  currentStart_ = sim_.now();
+  currentEnd_ = currentStart_ + service;
+  stats.queueDelay = stats.startTime - stats.enqueueTime;
+  stats.serviceTime = service;
+  stats.finishTime = currentEnd_;
+
+  sim_.schedule(currentEnd_, [this, stats, done = std::move(job.done)] {
+    busy_ = false;
+    completedBusy_ += stats.serviceTime;
+    if (done) done(stats);
+    startNext();
+  });
+}
+
+}  // namespace microedge

@@ -1,0 +1,136 @@
+#pragma once
+
+// Simulated Google Coral Edge TPU.
+//
+// The Edge TPU processes requests *sequentially, run to completion* — the
+// property the whole paper is built around: a TPU cannot be preempted, so
+// fine-grained sharing must happen by interleaving whole requests. This
+// device model reproduces the behaviours the evaluation depends on:
+//
+//  * serial FIFO execution with exclusive occupancy for the service time;
+//  * a resident (co-compiled) model set bounded by ~6.9 MB of parameter
+//    memory; switching between co-compiled residents is nearly free;
+//  * invoking a non-resident model pays a full swap (parameter data pushed
+//    over USB from host memory) and replaces the resident set;
+//  * Coral's "parameter data caching": when a co-compiled composite exceeds
+//    the parameter memory, the lowest-priority models are partially cached
+//    and stream the uncached remainder from the host on *every* inference;
+//  * exact busy-time integration for utilization measurements.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+struct TpuHardwareConfig {
+  // Total on-chip memory is ~8 MB; the compiler reserves space for the
+  // executable, leaving ~6.9 MB for parameter data (paper footnote 1).
+  double paramMemoryMb = 6.9;
+  // Effective host->TPU transfer bandwidth for parameter data (USB 3.0,
+  // conservative sustained figure).
+  double hostToTpuBandwidthMBps = 320.0;
+  // Fixed setup cost added to every full model swap.
+  SimDuration swapOverhead = milliseconds(5);
+  // Cost of switching between two models that are both resident in a
+  // co-compiled composite (context flip, no data movement).
+  SimDuration residentSwitchPenalty = microseconds(200);
+};
+
+class TpuDevice {
+ public:
+  // Timing record for one completed Invoke, consumed by the metrics layer.
+  struct InvokeStats {
+    SimTime enqueueTime{};
+    SimTime startTime{};
+    SimTime finishTime{};
+    SimDuration queueDelay{};
+    SimDuration serviceTime{};  // occupancy, including switch/swap costs
+    bool paidSwap = false;
+    bool paidResidentSwitch = false;
+  };
+  using InvokeCallback = std::function<void(const InvokeStats&)>;
+
+  TpuDevice(Simulator& sim, const ModelRegistry& registry, std::string id,
+            TpuHardwareConfig config = {});
+
+  TpuDevice(const TpuDevice&) = delete;
+  TpuDevice& operator=(const TpuDevice&) = delete;
+
+  const std::string& id() const { return id_; }
+  const TpuHardwareConfig& config() const { return config_; }
+
+  // Installs a co-compiled composite as the resident set; priority order is
+  // the vector order (earlier = higher priority for parameter caching).
+  // Models must exist in the registry. Replaces the previous resident set.
+  // Takes `loadLatency` occupancy on the device (queued like a request so it
+  // cannot preempt an in-flight inference).
+  Status loadModels(const std::vector<std::string>& names);
+
+  // Enqueues one inference. The callback fires at completion time with the
+  // timing breakdown. Unknown models are rejected immediately.
+  Status invoke(const std::string& model, InvokeCallback done);
+
+  // --- Introspection -------------------------------------------------------
+  bool isResident(const std::string& model) const;
+  const std::vector<std::string>& residentModels() const { return resident_; }
+  double residentParamMb() const;
+  // Fraction of `model`'s parameters cached on-chip ([0,1]); 0 if absent.
+  double cachedFraction(const std::string& model) const;
+
+  std::size_t queueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  std::size_t invocations() const { return invocations_; }
+  std::size_t swapCount() const { return swaps_; }
+  std::size_t residentSwitchCount() const { return residentSwitches_; }
+
+  // Exact busy occupancy in [epoch, now]: completed service plus the elapsed
+  // part of any in-flight request.
+  SimDuration busyTime() const;
+  // Utilization over [from, to] given busy snapshots taken by the caller.
+  double utilizationSince(SimDuration busyAtWindowStart,
+                          SimTime windowStart) const;
+
+ private:
+  struct Pending {
+    std::string model;
+    SimTime enqueueTime;
+    InvokeCallback done;
+  };
+
+  void startNext();
+  SimDuration computeServiceTime(const std::string& model, bool* paidSwap,
+                                 bool* paidResidentSwitch);
+  SimDuration streamingPenalty(const std::string& model) const;
+  void recomputeCaching();
+
+  Simulator& sim_;
+  const ModelRegistry& registry_;
+  std::string id_;
+  TpuHardwareConfig config_;
+
+  std::deque<Pending> queue_;
+  // Composites for queued load jobs (a Pending with an empty model name
+  // consumes the front entry), in FIFO correspondence with queue_.
+  std::deque<std::vector<std::string>> loadQueue_;
+  bool busy_ = false;
+  SimTime currentStart_{};
+  SimTime currentEnd_{};
+
+  // Resident composite, priority order, with per-model cached fraction.
+  std::vector<std::string> resident_;
+  std::vector<double> cachedFraction_;
+  std::string lastExecutedModel_;
+
+  SimDuration completedBusy_{};
+  std::size_t invocations_ = 0;
+  std::size_t swaps_ = 0;
+  std::size_t residentSwitches_ = 0;
+};
+
+}  // namespace microedge

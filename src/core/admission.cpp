@@ -1,0 +1,171 @@
+#include "core/admission.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+AdmissionController::AdmissionController(TpuPool& pool,
+                                         const ModelRegistry& registry,
+                                         AdmissionConfig config)
+    : pool_(pool), registry_(registry), coCompiler_(registry),
+      config_(config) {}
+
+bool AdmissionController::modelAllowedOn(const TpuState& tpu,
+                                         const ModelInfo& model) const {
+  if (tpu.hasModel(model.name)) return true;
+  if (model.paramSizeMb > tpu.paramCapacityMb()) {
+    // Oversized model: only schedulable alone (partial caching streams the
+    // overflow; colocating anything else would evict its cached portion).
+    return tpu.liveModelCount() == 0;
+  }
+  if (!config_.enableCoCompile) {
+    // Without co-compiling only one distinct model can be resident; a second
+    // tenant with a different model would pay a full swap per request.
+    return tpu.liveModelCount() == 0;
+  }
+  return tpu.modelFits(registry_, model);
+}
+
+StatusOr<LoadCommand> AdmissionController::makeLoad(TpuState& tpu,
+                                                    const ModelInfo& model) {
+  // The co-compile excludes zero-reference models: lazy reclamation point.
+  tpu.purgeDeadModels();
+  if (config_.enableCoCompile) {
+    auto plan = coCompiler_.planAdd(tpu, model);
+    if (!plan.isOk()) return plan.status();
+    return LoadCommand{plan->tpuId, plan->composite, plan->compileLatency};
+  }
+  CoCompilePlan plan = coCompiler_.planFresh(tpu, model);
+  return LoadCommand{plan.tpuId, plan.composite, plan.compileLatency};
+}
+
+StatusOr<AdmitResult> AdmissionController::admitSingle(std::uint64_t podUid,
+                                                       const ModelInfo& model,
+                                                       TpuUnit units) {
+  for (std::size_t index :
+       packingScanOrder(config_.strategy, pool_, nextFitCursor_)) {
+    TpuState& tpu = pool_.tpus()[index];
+    if (tpu.currentLoad() + units > TpuUnit::full()) continue;
+    if (!modelAllowedOn(tpu, model)) continue;
+
+    AdmitResult result;
+    if (!tpu.hasModel(model.name)) {
+      auto load = makeLoad(tpu, model);
+      if (!load.isOk()) continue;  // capacity race with purge; try next TPU
+      result.loads.push_back(std::move(load).value());
+    }
+    tpu.addAllocation(model.name, units);
+    result.allocation =
+        Allocation{podUid, model.name, {TpuShare{tpu.id(), units}}};
+    nextFitCursor_ = index;
+    return result;
+  }
+  return resourceExhausted(
+      strCat("no single TPU can host ", units.toString(), " units of ",
+             model.name));
+}
+
+StatusOr<AdmitResult> AdmissionController::admitPartitioned(
+    std::uint64_t podUid, const ModelInfo& model, TpuUnit units) {
+  // Phase 1: plan shares without mutating state (all-or-nothing admission).
+  struct PlannedShare {
+    std::size_t index;
+    TpuUnit units;
+  };
+  std::vector<PlannedShare> planned;
+  TpuUnit remaining = units;
+  for (std::size_t index :
+       packingScanOrder(config_.strategy, pool_, nextFitCursor_)) {
+    const TpuState& tpu = pool_.tpus()[index];
+    if (!modelAllowedOn(tpu, model)) continue;
+    TpuUnit wp = TpuUnit::min(remaining, tpu.freeUnits());
+    if (!wp.isPositive()) continue;
+    planned.push_back(PlannedShare{index, wp});
+    remaining -= wp;
+    if (remaining.isZero()) break;
+  }
+  if (remaining.isPositive()) {
+    return resourceExhausted(
+        strCat("workload partitioning cannot place ", units.toString(),
+               " units of ", model.name, "; short by ", remaining.toString()));
+  }
+
+  // Phase 2: commit.
+  AdmitResult result;
+  result.allocation.podUid = podUid;
+  result.allocation.model = model.name;
+  for (const PlannedShare& share : planned) {
+    TpuState& tpu = pool_.tpus()[share.index];
+    if (!tpu.hasModel(model.name)) {
+      auto load = makeLoad(tpu, model);
+      // modelAllowedOn held in phase 1 and nothing changed since; a failure
+      // here is a logic error, not a runtime condition.
+      assert(load.isOk());
+      if (load.isOk()) result.loads.push_back(std::move(load).value());
+    }
+    tpu.addAllocation(model.name, share.units);
+    result.allocation.shares.push_back(TpuShare{tpu.id(), share.units});
+  }
+  nextFitCursor_ = planned.back().index;
+  return result;
+}
+
+StatusOr<AdmitResult> AdmissionController::admit(std::uint64_t podUid,
+                                                 const std::string& modelName,
+                                                 TpuUnit units) {
+  auto model = registry_.find(modelName);
+  if (!model.isOk()) {
+    ++rejected_;
+    return model.status();
+  }
+  if (!units.isPositive()) {
+    ++rejected_;
+    return invalidArgument(
+        strCat("pod requests non-positive TPU units for ", modelName));
+  }
+  if (!config_.enableWorkloadPartitioning && units > TpuUnit::full()) {
+    ++rejected_;
+    return resourceExhausted(
+        strCat(modelName, " needs ", units.toString(),
+               " units; > 1 TPU requires workload partitioning"));
+  }
+
+  auto single = admitSingle(podUid, *model, units);
+  if (single.isOk()) {
+    ++admitted_;
+    return single;
+  }
+  if (!config_.enableWorkloadPartitioning) {
+    ++rejected_;
+    return single;
+  }
+  auto partitioned = admitPartitioned(podUid, *model, units);
+  if (partitioned.isOk()) {
+    ++admitted_;
+    ++partitioned_;
+    ME_LOG(kDebug) << "pod uid " << podUid << " partitioned across "
+                   << partitioned->allocation.shares.size() << " TPUs";
+  } else {
+    ++rejected_;
+  }
+  return partitioned;
+}
+
+Status AdmissionController::release(const Allocation& allocation) {
+  Status first = Status::ok();
+  for (const TpuShare& share : allocation.shares) {
+    TpuState* tpu = pool_.find(share.tpuId);
+    if (tpu == nullptr) {
+      // TPU left the pool (node failure) — its bookkeeping died with it.
+      continue;
+    }
+    Status s = tpu->removeAllocation(allocation.model, share.units);
+    if (!s.isOk() && first.isOk()) first = s;
+  }
+  return first;
+}
+
+}  // namespace microedge

@@ -1,0 +1,50 @@
+#include "core/cocompiler.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+SimDuration CoCompiler::estimateLatency(double totalParamMb) const {
+  return config_.baseLatency +
+         SimDuration{static_cast<std::int64_t>(
+             static_cast<double>(config_.perMbLatency.count()) * totalParamMb)};
+}
+
+StatusOr<CoCompilePlan> CoCompiler::planAdd(const TpuState& tpu,
+                                            const ModelInfo& model) const {
+  CoCompilePlan plan;
+  plan.tpuId = tpu.id();
+  plan.composite = tpu.liveModels();  // zero-reference models are excluded
+  double total = 0.0;
+  for (const auto& name : plan.composite) {
+    total += registry_.at(name).paramSizeMb;
+  }
+  if (std::find(plan.composite.begin(), plan.composite.end(), model.name) ==
+      plan.composite.end()) {
+    plan.composite.push_back(model.name);
+    total += model.paramSizeMb;
+  }
+  if (total > tpu.paramCapacityMb()) {
+    return resourceExhausted(
+        strCat("co-compile on ", tpu.id(), ": composite of ",
+               fmtDouble(total, 2), " MB exceeds ",
+               fmtDouble(tpu.paramCapacityMb(), 2), " MB parameter budget"));
+  }
+  plan.totalParamMb = total;
+  plan.compileLatency = estimateLatency(total);
+  return plan;
+}
+
+CoCompilePlan CoCompiler::planFresh(const TpuState& tpu,
+                                    const ModelInfo& model) const {
+  CoCompilePlan plan;
+  plan.tpuId = tpu.id();
+  plan.composite = {model.name};
+  plan.totalParamMb = model.paramSizeMb;
+  plan.compileLatency = estimateLatency(model.paramSizeMb);
+  return plan;
+}
+
+}  // namespace microedge

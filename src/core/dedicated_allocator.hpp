@@ -1,0 +1,41 @@
+#pragma once
+
+// Bare-metal baseline allocator (§6.2's comparison point).
+//
+// The baseline dedicates an *integral* number of TPUs to every camera
+// stream: Coral-Pie takes one whole TPU per camera; BodyPix (1.2 units at
+// 15 FPS) takes two, alternating frames between them. No sharing, no
+// fractional units — the source of the internal fragmentation MicroEdge
+// eliminates. Each dedicated TPU is marked fully loaded (1.0) in the pool so
+// capacity math is uniform across allocators; its *measured* utilization is
+// whatever duty cycle the stream actually produces (e.g. 35% for Coral-Pie,
+// the paper's Fig. 5b baseline bar).
+
+#include "core/admission.hpp"
+
+namespace microedge {
+
+class DedicatedAllocator : public TpuAllocator {
+ public:
+  DedicatedAllocator(TpuPool& pool, const ModelRegistry& registry)
+      : pool_(pool), registry_(registry) {}
+
+  // Takes ceil(units) completely free TPUs, exclusively. Shares carry the
+  // real per-TPU duty cycle (units/k) so LB weights split frames evenly.
+  StatusOr<AdmitResult> admit(std::uint64_t podUid,
+                              const std::string& modelName,
+                              TpuUnit units) override;
+
+  Status release(const Allocation& allocation) override;
+
+  std::size_t admittedCount() const { return admitted_; }
+  std::size_t rejectedCount() const { return rejected_; }
+
+ private:
+  TpuPool& pool_;
+  const ModelRegistry& registry_;
+  std::size_t admitted_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace microedge

@@ -1,0 +1,54 @@
+#include "core/packing_strategy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace microedge {
+
+std::string_view toString(PackingStrategy strategy) {
+  switch (strategy) {
+    case PackingStrategy::kFirstFit:
+      return "first-fit";
+    case PackingStrategy::kNextFit:
+      return "next-fit";
+    case PackingStrategy::kBestFit:
+      return "best-fit";
+    case PackingStrategy::kWorstFit:
+      return "worst-fit";
+  }
+  return "unknown";
+}
+
+std::vector<std::size_t> packingScanOrder(PackingStrategy strategy,
+                                          const TpuPool& pool,
+                                          std::size_t nextFitCursor) {
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), 0);
+  switch (strategy) {
+    case PackingStrategy::kFirstFit:
+      break;
+    case PackingStrategy::kNextFit: {
+      if (nextFitCursor > pool.size()) nextFitCursor = pool.size();
+      order.erase(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(nextFitCursor));
+      break;
+    }
+    case PackingStrategy::kBestFit:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return pool.tpus()[a].currentLoad() >
+                                pool.tpus()[b].currentLoad();
+                       });
+      break;
+    case PackingStrategy::kWorstFit:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return pool.tpus()[a].currentLoad() <
+                                pool.tpus()[b].currentLoad();
+                       });
+      break;
+  }
+  return order;
+}
+
+}  // namespace microedge

@@ -1,0 +1,33 @@
+#pragma once
+
+// Online bin-packing scan orders (§4.2).
+//
+// MicroEdge extends First-Fit (asymptotic approximation ratio 1.7). The
+// alternatives the paper cites — Next-Fit, Best-Fit, Worst-Fit — are
+// implemented for the ablation bench: they all plug into the same admission
+// algorithm by changing the order in which Algorithm 1 scans the TPU pool
+// (and, for Next-Fit, which TPUs it may revisit).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/tpu_state.hpp"
+
+namespace microedge {
+
+enum class PackingStrategy { kFirstFit, kNextFit, kBestFit, kWorstFit };
+
+std::string_view toString(PackingStrategy strategy);
+
+// Returns indices into pool.tpus() in the order the admission scan should
+// try them.
+//  - FirstFit: pool order.
+//  - NextFit:  from `nextFitCursor` onward only (earlier bins are "closed").
+//  - BestFit:  most-loaded first (tightest remaining gap), ties by index.
+//  - WorstFit: least-loaded first, ties by index.
+std::vector<std::size_t> packingScanOrder(PackingStrategy strategy,
+                                          const TpuPool& pool,
+                                          std::size_t nextFitCursor);
+
+}  // namespace microedge

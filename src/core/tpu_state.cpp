@@ -1,0 +1,136 @@
+#include "core/tpu_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+bool TpuState::hasModel(const std::string& model) const {
+  auto it = refs_.find(model);
+  return it != refs_.end() && it->second > 0;
+}
+
+double TpuState::usedParamMb(const ModelRegistry& registry) const {
+  double used = 0.0;
+  for (const auto& [model, count] : refs_) {
+    if (count > 0) used += registry.at(model).paramSizeMb;
+  }
+  return used;
+}
+
+bool TpuState::modelFits(const ModelRegistry& registry,
+                         const ModelInfo& model) const {
+  if (hasModel(model.name)) return true;
+  return model.paramSizeMb <= freeParamMb(registry);
+}
+
+std::size_t TpuState::liveModelCount() const {
+  std::size_t n = 0;
+  for (const auto& [model, count] : refs_) {
+    if (count > 0) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> TpuState::liveModels() const {
+  std::vector<std::string> out;
+  for (const auto& name : order_) {
+    if (hasModel(name)) out.push_back(name);
+  }
+  return out;
+}
+
+int TpuState::refCount(const std::string& model) const {
+  auto it = refs_.find(model);
+  return it == refs_.end() ? 0 : it->second;
+}
+
+void TpuState::addAllocation(const std::string& model, TpuUnit units) {
+  assert(units.isPositive());
+  load_ += units;
+  int& count = refs_[model];
+  if (count == 0 &&
+      std::find(order_.begin(), order_.end(), model) == order_.end()) {
+    order_.push_back(model);
+  }
+  ++count;
+}
+
+Status TpuState::removeAllocation(const std::string& model, TpuUnit units) {
+  auto it = refs_.find(model);
+  if (it == refs_.end() || it->second <= 0) {
+    return failedPrecondition(
+        strCat("TPU ", id_, ": no live allocation of model ", model));
+  }
+  if (units > load_) {
+    return failedPrecondition(
+        strCat("TPU ", id_, ": releasing ", units.toString(),
+               " units exceeds load ", load_.toString()));
+  }
+  load_ -= units;
+  --it->second;
+  // Lazy reclamation: the model stays in order_ until purgeDeadModels().
+  return Status::ok();
+}
+
+void TpuState::purgeDeadModels() {
+  order_.erase(std::remove_if(order_.begin(), order_.end(),
+                              [this](const std::string& name) {
+                                return !hasModel(name);
+                              }),
+               order_.end());
+  for (auto it = refs_.begin(); it != refs_.end();) {
+    it = it->second <= 0 ? refs_.erase(it) : std::next(it);
+  }
+}
+
+Status TpuPool::addTpu(const std::string& id, double paramCapacityMb) {
+  if (find(id) != nullptr) {
+    return alreadyExists(strCat("TPU ", id, " already in pool"));
+  }
+  if (paramCapacityMb <= 0.0) {
+    return invalidArgument(strCat("TPU ", id, ": non-positive capacity"));
+  }
+  tpus_.emplace_back(id, paramCapacityMb);
+  return Status::ok();
+}
+
+Status TpuPool::removeTpu(const std::string& id) {
+  auto it = std::find_if(tpus_.begin(), tpus_.end(),
+                         [&](const TpuState& t) { return t.id() == id; });
+  if (it == tpus_.end()) return notFound(strCat("TPU ", id, " not in pool"));
+  tpus_.erase(it);
+  return Status::ok();
+}
+
+TpuState* TpuPool::find(const std::string& id) {
+  for (auto& tpu : tpus_) {
+    if (tpu.id() == id) return &tpu;
+  }
+  return nullptr;
+}
+
+const TpuState* TpuPool::find(const std::string& id) const {
+  for (const auto& tpu : tpus_) {
+    if (tpu.id() == id) return &tpu;
+  }
+  return nullptr;
+}
+
+TpuUnit TpuPool::totalLoad() const {
+  TpuUnit total;
+  for (const auto& tpu : tpus_) total += tpu.currentLoad();
+  return total;
+}
+
+std::size_t TpuPool::usedTpuCount() const {
+  std::size_t n = 0;
+  for (const auto& tpu : tpus_) {
+    if (tpu.currentLoad().isPositive()) ++n;
+  }
+  return n;
+}
+
+}  // namespace microedge

@@ -1,0 +1,95 @@
+#pragma once
+
+// Control-plane bookkeeping for TPU resources.
+//
+// The extended scheduler tracks, per TPU Service instance: the cumulative
+// TPU units allocated (CurrentLoad in Algorithm 1), the set of resident
+// models with per-model reference counts, and the parameter-memory budget.
+// Model reclamation is *lazy* (§4.2): releasing a pod only decrements
+// reference counts; zero-reference models remain resident (and consume no
+// accountable memory) until the next co-compile excludes them.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/tpu_units.hpp"
+#include "models/registry.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+class TpuState {
+ public:
+  TpuState(std::string id, double paramCapacityMb)
+      : id_(std::move(id)), paramCapacityMb_(paramCapacityMb) {}
+
+  const std::string& id() const { return id_; }
+  double paramCapacityMb() const { return paramCapacityMb_; }
+
+  TpuUnit currentLoad() const { return load_; }
+  TpuUnit freeUnits() const { return TpuUnit::full() - load_; }
+
+  // A model counts as "in the TPU" if it has at least one live reference.
+  bool hasModel(const std::string& model) const;
+  // Memory consumed by live-referenced models only (lazy reclamation: dead
+  // models will be excluded by the next co-compile, so their space is
+  // considered reclaimable at admission time).
+  double usedParamMb(const ModelRegistry& registry) const;
+  double freeParamMb(const ModelRegistry& registry) const {
+    return paramCapacityMb_ - usedParamMb(registry);
+  }
+  // True if the model is already present or its parameters fit in the
+  // reclaimable-free memory (the Model Size Rule test, Algorithm 1 line 4).
+  bool modelFits(const ModelRegistry& registry, const ModelInfo& model) const;
+
+  // Number of distinct live-referenced models.
+  std::size_t liveModelCount() const;
+  // Live-referenced models, in first-load order (co-compile priority).
+  std::vector<std::string> liveModels() const;
+  // All resident names including zero-reference leftovers (diagnostics).
+  const std::vector<std::string>& residentOrder() const { return order_; }
+
+  int refCount(const std::string& model) const;
+
+  // Adds an allocation: bumps load and the model's reference count. The
+  // caller (AdmissionController) is responsible for having checked the two
+  // rules first; this asserts only basic sanity.
+  void addAllocation(const std::string& model, TpuUnit units);
+  // Reverses addAllocation. Load may not go negative.
+  Status removeAllocation(const std::string& model, TpuUnit units);
+
+  // Applies a new co-compiled composite: zero-reference models are dropped
+  // from the resident order (the lazy reclamation point).
+  void purgeDeadModels();
+
+ private:
+  std::string id_;
+  double paramCapacityMb_;
+  TpuUnit load_;
+  std::map<std::string, int> refs_;
+  std::vector<std::string> order_;
+};
+
+// Ordered collection of TPU states; order is the First-Fit scan order.
+class TpuPool {
+ public:
+  Status addTpu(const std::string& id, double paramCapacityMb);
+  Status removeTpu(const std::string& id);
+
+  std::size_t size() const { return tpus_.size(); }
+  TpuState* find(const std::string& id);
+  const TpuState* find(const std::string& id) const;
+  std::vector<TpuState>& tpus() { return tpus_; }
+  const std::vector<TpuState>& tpus() const { return tpus_; }
+
+  // Σ load across the pool, for utilization accounting.
+  TpuUnit totalLoad() const;
+  // Number of TPUs with non-zero load (the bin-packing objective K).
+  std::size_t usedTpuCount() const;
+
+ private:
+  std::vector<TpuState> tpus_;
+};
+
+}  // namespace microedge

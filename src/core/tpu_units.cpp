@@ -1,0 +1,28 @@
+#include "core/tpu_units.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+TpuUnit TpuUnit::fromDouble(double units) {
+  return TpuUnit{static_cast<std::int64_t>(std::llround(units * 1000.0))};
+}
+
+TpuUnit TpuUnit::fromDutyCycle(SimDuration serviceTime, SimDuration period) {
+  if (period <= SimDuration::zero()) return TpuUnit::zero();
+  double ratio = toSeconds(serviceTime) / toSeconds(period);
+  return fromDouble(ratio);
+}
+
+TpuUnit TpuUnit::fromServiceAtFps(SimDuration serviceTime, double fps) {
+  if (fps <= 0.0) return TpuUnit::zero();
+  return fromDouble(toSeconds(serviceTime) * fps);
+}
+
+std::string TpuUnit::toString() const {
+  return fmtDouble(value(), 3);
+}
+
+}  // namespace microedge

@@ -1,0 +1,87 @@
+#pragma once
+
+// TPU Units — the paper's fractional TPU resource metric (§4.1).
+//
+// "TPU unit is the duty cycle of inference requests that an application pod
+//  is expected to generate": for per-request service time t (including model
+//  switching time) and request inter-arrival period T, the pod needs t/T
+//  units. A camera at 10 FPS running a 30 ms model needs 0.3 units; BodyPix
+//  at 15 FPS needs 1.2 (> 1 => must be partitioned across TPUs).
+//
+// Units are stored as integer *milli-units* so that admission-control sums
+// compare exactly against the capacity of 1.0 (three pods of 0.35 must NOT
+// fit on one TPU; floating-point accumulation could decide either way).
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace microedge {
+
+class TpuUnit {
+ public:
+  constexpr TpuUnit() = default;
+
+  static constexpr TpuUnit fromMilli(std::int64_t milli) {
+    return TpuUnit{milli};
+  }
+  // Rounds to the nearest milli-unit.
+  static TpuUnit fromDouble(double units);
+  // t / T: service time over inter-arrival period.
+  static TpuUnit fromDutyCycle(SimDuration serviceTime, SimDuration period);
+  // Convenience: service time at a given frame rate.
+  static TpuUnit fromServiceAtFps(SimDuration serviceTime, double fps);
+
+  constexpr std::int64_t milli() const { return milli_; }
+  constexpr double value() const { return static_cast<double>(milli_) / 1000.0; }
+  constexpr bool isZero() const { return milli_ == 0; }
+  constexpr bool isPositive() const { return milli_ > 0; }
+
+  // One whole TPU.
+  static constexpr TpuUnit full() { return TpuUnit{1000}; }
+  static constexpr TpuUnit zero() { return TpuUnit{0}; }
+
+  friend constexpr TpuUnit operator+(TpuUnit a, TpuUnit b) {
+    return TpuUnit{a.milli_ + b.milli_};
+  }
+  friend constexpr TpuUnit operator-(TpuUnit a, TpuUnit b) {
+    return TpuUnit{a.milli_ - b.milli_};
+  }
+  TpuUnit& operator+=(TpuUnit other) {
+    milli_ += other.milli_;
+    return *this;
+  }
+  TpuUnit& operator-=(TpuUnit other) {
+    milli_ -= other.milli_;
+    return *this;
+  }
+  friend constexpr bool operator==(TpuUnit a, TpuUnit b) {
+    return a.milli_ == b.milli_;
+  }
+  friend constexpr bool operator!=(TpuUnit a, TpuUnit b) {
+    return a.milli_ != b.milli_;
+  }
+  friend constexpr bool operator<(TpuUnit a, TpuUnit b) {
+    return a.milli_ < b.milli_;
+  }
+  friend constexpr bool operator<=(TpuUnit a, TpuUnit b) {
+    return a.milli_ <= b.milli_;
+  }
+  friend constexpr bool operator>(TpuUnit a, TpuUnit b) {
+    return a.milli_ > b.milli_;
+  }
+  friend constexpr bool operator>=(TpuUnit a, TpuUnit b) {
+    return a.milli_ >= b.milli_;
+  }
+
+  static constexpr TpuUnit min(TpuUnit a, TpuUnit b) { return a < b ? a : b; }
+
+  std::string toString() const;
+
+ private:
+  explicit constexpr TpuUnit(std::int64_t milli) : milli_(milli) {}
+  std::int64_t milli_ = 0;
+};
+
+}  // namespace microedge

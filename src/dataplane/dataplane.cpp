@@ -1,0 +1,53 @@
+#include "dataplane/dataplane.hpp"
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+DataPlane::DataPlane(Simulator& sim, const ClusterTopology& topology,
+                     const ModelRegistry& registry)
+    : sim_(sim), registry_(registry), transport_(sim, topology.network()) {
+  for (const auto& tpu : topology.tpus()) {
+    services_.emplace(tpu->id(), std::make_unique<TpuService>(
+                                     *tpu, topology.nodeOfTpu(tpu->id())));
+  }
+}
+
+TpuService* DataPlane::service(const std::string& tpuId) {
+  auto it = services_.find(tpuId);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+std::vector<TpuService*> DataPlane::services() {
+  std::vector<TpuService*> out;
+  out.reserve(services_.size());
+  for (auto& [id, service] : services_) out.push_back(service.get());
+  return out;
+}
+
+void DataPlane::removeService(const std::string& tpuId) {
+  services_.erase(tpuId);
+}
+
+Status DataPlane::executeLoad(const LoadCommand& command) {
+  TpuService* target = service(command.tpuId);
+  if (target == nullptr) {
+    return unavailable(strCat("TPU service ", command.tpuId, " not running"));
+  }
+  return target->load(command);
+}
+
+std::unique_ptr<TpuClient> DataPlane::makeClient(std::string clientNode,
+                                                 std::string model,
+                                                 LbSpread spread) {
+  TpuClient::Config config;
+  config.clientNode = std::move(clientNode);
+  config.model = std::move(model);
+  config.spread = spread;
+  return std::make_unique<TpuClient>(
+      sim_, registry_, transport_,
+      [this](const std::string& tpuId) { return service(tpuId); },
+      std::move(config));
+}
+
+}  // namespace microedge

@@ -1,0 +1,53 @@
+#pragma once
+
+// Data-plane assembly: instantiates one TPU Service per physical TPU at
+// cluster boot (as MicroEdge does at system initialization) and provides
+// the glue the control plane needs — a Load executor for the extended
+// scheduler and a client factory for application pods.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "dataplane/tpu_client.hpp"
+#include "dataplane/tpu_service.hpp"
+#include "dataplane/transport.hpp"
+
+namespace microedge {
+
+class DataPlane {
+ public:
+  DataPlane(Simulator& sim, const ClusterTopology& topology,
+            const ModelRegistry& registry);
+
+  DataPlane(const DataPlane&) = delete;
+  DataPlane& operator=(const DataPlane&) = delete;
+
+  SimTransport& transport() { return transport_; }
+
+  TpuService* service(const std::string& tpuId);
+  std::vector<TpuService*> services();
+  std::size_t serviceCount() const { return services_.size(); }
+
+  // Removes a TPU Service (node failure injection). Clients routing to it
+  // will drop frames until reconfigured.
+  void removeService(const std::string& tpuId);
+
+  // ExtendedScheduler::Callbacks::loadModel implementation.
+  Status executeLoad(const LoadCommand& command);
+
+  // Creates the client library instance baked into an application pod.
+  std::unique_ptr<TpuClient> makeClient(std::string clientNode,
+                                        std::string model,
+                                        LbSpread spread = LbSpread::kSmooth);
+
+ private:
+  Simulator& sim_;
+  const ModelRegistry& registry_;
+  SimTransport transport_;
+  std::map<std::string, std::unique_ptr<TpuService>> services_;
+};
+
+}  // namespace microedge

@@ -1,0 +1,37 @@
+#include "dataplane/lb_service.hpp"
+
+#include <cassert>
+
+namespace microedge {
+
+Status LbService::configure(const LbConfig& config) {
+  std::vector<WrrTarget> targets;
+  targets.reserve(config.weights.size());
+  for (const LbWeight& w : config.weights) {
+    targets.push_back(WrrTarget{w.tpuId, w.weight});
+  }
+  Status s = spread_ == LbSpread::kSmooth ? smooth_.setTargets(targets)
+                                          : burst_.setTargets(targets);
+  if (!s.isOk()) return s;
+  lbConfig_ = config;
+  configured_ = true;
+  routed_ = 0;
+  perTarget_.clear();
+  return Status::ok();
+}
+
+const std::string& LbService::route() {
+  assert(configured_ && "LbService::route before configure");
+  const std::string& target =
+      spread_ == LbSpread::kSmooth ? smooth_.pick() : burst_.pick();
+  ++routed_;
+  ++perTarget_[target];
+  return target;
+}
+
+std::uint64_t LbService::routedCountTo(const std::string& tpuId) const {
+  auto it = perTarget_.find(tpuId);
+  return it == perTarget_.end() ? 0 : it->second;
+}
+
+}  // namespace microedge

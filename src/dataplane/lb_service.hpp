@@ -1,0 +1,50 @@
+#pragma once
+
+// TPU load balancing service (§5.3): per-pod component, seeded by the
+// extended scheduler with the workload-partitioning weights, that fans the
+// pod's successive Invoke requests out to TPU Service instances.
+//
+// K3s's default Service load balancer cannot pin requests to *specific*
+// TPUs, which the partitioning scheme requires — hence this bespoke LBS.
+// Default spread is smooth WRR (WFQ-like); the burst variant exists for the
+// ablation bench.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/extended_scheduler.hpp"
+#include "dataplane/wrr.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+enum class LbSpread { kSmooth, kBurst };
+
+class LbService {
+ public:
+  explicit LbService(LbSpread spread = LbSpread::kSmooth) : spread_(spread) {}
+
+  // Installs the weights computed at admission (milli-units per TPU).
+  Status configure(const LbConfig& config);
+  bool configured() const { return configured_; }
+
+  // Routes the next request; returns the target TPU id.
+  // Precondition: configured().
+  const std::string& route();
+
+  std::uint64_t routedCount() const { return routed_; }
+  std::uint64_t routedCountTo(const std::string& tpuId) const;
+  const LbConfig& config() const { return lbConfig_; }
+
+ private:
+  LbSpread spread_;
+  SmoothWrr smooth_;
+  BurstWrr burst_;
+  LbConfig lbConfig_;
+  bool configured_ = false;
+  std::uint64_t routed_ = 0;
+  std::map<std::string, std::uint64_t> perTarget_;
+};
+
+}  // namespace microedge

@@ -1,0 +1,99 @@
+#include "dataplane/tpu_client.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+TpuClient::TpuClient(Simulator& sim, const ModelRegistry& registry,
+                     SimTransport& transport, Directory directory,
+                     Config config)
+    : sim_(sim), registry_(registry), transport_(transport),
+      directory_(std::move(directory)), config_(std::move(config)),
+      lb_(config_.spread) {}
+
+Status TpuClient::invoke(CompletionCallback done) {
+  if (stopped_) return failedPrecondition("TPU client is stopped");
+  if (!lb_.configured()) {
+    return failedPrecondition("TPU client LB not configured");
+  }
+  auto model = registry_.find(config_.model);
+  if (!model.isOk()) return model.status();
+  const ModelInfo info = std::move(model).value();
+
+  auto b = std::make_shared<FrameBreakdown>();
+  b->frameId = nextFrameId_++;
+  b->submitted = sim_.now();
+  b->preprocess = info.preprocessLatency;
+  ++submitted_;
+
+  // Shared continuation state keeps the callback chain readable.
+  auto onPostprocessDone = [this, b](CompletionCallback cb) {
+    b->completed = sim_.now();
+    ++completed_;
+    if (cb) cb(*b);
+  };
+
+  // Stage 1: client-side resize to the model's input resolution.
+  sim_.scheduleAfter(
+      info.preprocessLatency,
+      [this, b, info, done = std::move(done), onPostprocessDone]() mutable {
+        // Stage 2: route via the pod's LBS and transmit the frame. If the
+        // chosen TPU Service stopped answering (tRPi died between the
+        // failure and the recovery reconfiguring our weights), fail over to
+        // the pod's other shares before dropping the frame.
+        TpuService* service = nullptr;
+        std::string target;
+        std::size_t attempts =
+            std::max<std::size_t>(1, lb_.config().weights.size());
+        for (std::size_t i = 0; i < attempts && service == nullptr; ++i) {
+          target = lb_.route();
+          service = directory_(target);
+        }
+        if (service == nullptr) {
+          ++failed_;
+          ME_LOG(kWarning) << "no reachable TPU service for "
+                           << config_.model << "; frame dropped";
+          return;
+        }
+        b->servedBy = target;
+        const std::string serviceNode = service->node();
+        b->requestTransmit = transport_.send(
+            config_.clientNode, serviceNode, info.inputBytes(),
+            [this, b, info, service, serviceNode, done = std::move(done),
+             onPostprocessDone]() mutable {
+              // Stage 3: inference on the (serial, run-to-completion) TPU.
+              Status s = service->invoke(
+                  info.name,
+                  [this, b, info, serviceNode, done = std::move(done),
+                   onPostprocessDone](const TpuDevice::InvokeStats& stats) mutable {
+                    b->queueDelay = stats.queueDelay;
+                    b->inference = stats.serviceTime;
+                    // Stage 4: response back to the application pod.
+                    b->responseTransmit = transport_.send(
+                        serviceNode, config_.clientNode, info.outputBytes,
+                        [this, b, info, done = std::move(done),
+                         onPostprocessDone]() mutable {
+                          // Stage 5: application post-processing.
+                          b->postprocess = info.postprocessLatency;
+                          sim_.scheduleAfter(
+                              info.postprocessLatency,
+                              [done = std::move(done), onPostprocessDone]() mutable {
+                                onPostprocessDone(std::move(done));
+                              });
+                        });
+                  });
+              if (!s.isOk()) {
+                ++failed_;
+                ME_LOG(kWarning) << "invoke on " << b->servedBy
+                                 << " failed: " << s.toString();
+              }
+            });
+      });
+  return Status::ok();
+}
+
+}  // namespace microedge

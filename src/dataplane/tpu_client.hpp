@@ -1,0 +1,94 @@
+#pragma once
+
+// TPU Client (§5.2): the library an application pod links to issue Invoke
+// requests against its allocated TPU share.
+//
+// Per the paper, the client resizes the raw frame to the model's input
+// resolution *before* transmission (data movement dominates on RPis), asks
+// its LB Service for the target TPU, ships the pre-processed frame to the
+// hosting tRPi, and hands the response to application post-processing. The
+// full per-frame latency breakdown (Fig. 7b's four components, plus queueing
+// visibility inside the TPU Service) is reported on completion.
+//
+// Object lifetime: completions reference the client; the experiment harness
+// keeps client objects alive until the simulation drains (a stopped client
+// simply refuses new invokes).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dataplane/lb_service.hpp"
+#include "dataplane/tpu_service.hpp"
+#include "dataplane/transport.hpp"
+#include "models/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace microedge {
+
+struct FrameBreakdown {
+  std::uint64_t frameId = 0;
+  std::string servedBy;  // TPU id
+  SimTime submitted{};
+  SimTime completed{};
+  SimDuration preprocess{};
+  SimDuration requestTransmit{};
+  SimDuration queueDelay{};
+  SimDuration inference{};  // device occupancy incl. switch/stream penalties
+  SimDuration responseTransmit{};
+  SimDuration postprocess{};
+
+  SimDuration endToEnd() const { return completed - submitted; }
+};
+
+class TpuClient {
+ public:
+  struct Config {
+    std::string clientNode;  // RPi hosting the application pod
+    std::string model;
+    LbSpread spread = LbSpread::kSmooth;
+  };
+  // Resolves a TPU id to its TPU Service instance (nullptr if gone).
+  using Directory = std::function<TpuService*(const std::string& tpuId)>;
+  using CompletionCallback = std::function<void(const FrameBreakdown&)>;
+
+  TpuClient(Simulator& sim, const ModelRegistry& registry,
+            SimTransport& transport, Directory directory, Config config);
+
+  // Seeds the embedded LB Service (done by the extended scheduler at pod
+  // initialization, §3.1 step 4).
+  Status configureLb(const LbConfig& config) { return lb_.configure(config); }
+  bool ready() const { return lb_.configured() && !stopped_; }
+
+  // Submits one frame through the full pipeline. `done` fires after
+  // post-processing completes.
+  Status invoke(CompletionCallback done);
+
+  // Stops accepting new frames (pod termination); in-flight frames finish.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  const Config& config() const { return config_; }
+  LbService& lbService() { return lb_; }
+  std::uint64_t submittedCount() const { return submitted_; }
+  std::uint64_t completedCount() const { return completed_; }
+  std::uint64_t failedCount() const { return failed_; }
+  std::uint64_t outstanding() const {
+    return submitted_ - completed_ - failed_;
+  }
+
+ private:
+  Simulator& sim_;
+  const ModelRegistry& registry_;
+  SimTransport& transport_;
+  Directory directory_;
+  Config config_;
+  LbService lb_;
+  bool stopped_ = false;
+  std::uint64_t nextFrameId_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace microedge

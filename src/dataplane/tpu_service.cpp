@@ -1,0 +1,25 @@
+#include "dataplane/tpu_service.hpp"
+
+namespace microedge {
+
+Status TpuService::load(const LoadCommand& command) {
+  ++loads_;
+  return device_.loadModels(command.composite);
+}
+
+Status TpuService::invoke(const std::string& model,
+                          TpuDevice::InvokeCallback done) {
+  Status s = device_.invoke(model, std::move(done));
+  if (s.isOk()) {
+    ++invokes_;
+    ++perModel_[model];
+  }
+  return s;
+}
+
+std::uint64_t TpuService::invokeCountFor(const std::string& model) const {
+  auto it = perModel_.find(model);
+  return it == perModel_.end() ? 0 : it->second;
+}
+
+}  // namespace microedge

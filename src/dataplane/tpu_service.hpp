@@ -1,0 +1,59 @@
+#pragma once
+
+// TPU Service (§5.1): the per-TPU server process on a tRPi.
+//
+// Instantiated at cluster boot for every physical TPU, it listens for two
+// request kinds:
+//   Load   — from the extended scheduler: install a (co-compiled) model
+//            composite into TPU memory;
+//   Invoke — from TPU Clients: run one inference, reply with the result.
+//
+// Time sharing falls out of the underlying device's serial FIFO; space
+// sharing falls out of installing co-compiled composites. The service keeps
+// per-model counters so experiments can attribute load.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cluster/tpu_device.hpp"
+#include "core/admission.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+class TpuService {
+ public:
+  // `node` is the hosting tRPi (the client needs it to route frames).
+  TpuService(TpuDevice& device, std::string node)
+      : device_(device), node_(std::move(node)) {}
+
+  const std::string& tpuId() const { return device_.id(); }
+  const std::string& node() const { return node_; }
+  TpuDevice& device() { return device_; }
+  const TpuDevice& device() const { return device_; }
+
+  // Load primitive: installs the command's composite on the TPU. The
+  // compile itself ran off-path in the Co-compiler service; this just pushes
+  // the compiled parameters to the device.
+  Status load(const LoadCommand& command);
+
+  // Invoke primitive: one inference, completion via callback (the response
+  // hop back to the client is the caller's concern — the client library
+  // owns the connection).
+  Status invoke(const std::string& model, TpuDevice::InvokeCallback done);
+
+  std::uint64_t invokeCount() const { return invokes_; }
+  std::uint64_t loadCount() const { return loads_; }
+  std::uint64_t invokeCountFor(const std::string& model) const;
+
+ private:
+  TpuDevice& device_;
+  std::string node_;
+  std::uint64_t invokes_ = 0;
+  std::uint64_t loads_ = 0;
+  std::map<std::string, std::uint64_t> perModel_;
+};
+
+}  // namespace microedge

@@ -1,0 +1,15 @@
+#include "dataplane/transport.hpp"
+
+namespace microedge {
+
+SimDuration SimTransport::send(const std::string& fromNode,
+                               const std::string& toNode, std::size_t bytes,
+                               std::function<void()> onDelivered) {
+  SimDuration latency = network_.transferLatency(fromNode, toNode, bytes);
+  ++messages_;
+  bytes_ += bytes;
+  sim_.scheduleAfter(latency, std::move(onDelivered));
+  return latency;
+}
+
+}  // namespace microedge

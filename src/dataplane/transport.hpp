@@ -1,0 +1,39 @@
+#pragma once
+
+// Simulated message transport between cluster nodes.
+//
+// Wraps the NetworkModel in the event loop: send() delivers the payload's
+// callback after the modelled one-way latency. Flows between distinct node
+// pairs do not contend (switched full-duplex fabric); per-message costs are
+// captured by the NetworkModel's base latency.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "cluster/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace microedge {
+
+class SimTransport {
+ public:
+  SimTransport(Simulator& sim, const NetworkModel& network)
+      : sim_(sim), network_(network) {}
+
+  // Delivers `onDelivered` after the transfer latency of `bytes` from
+  // `fromNode` to `toNode`. Returns the modelled latency (for breakdowns).
+  SimDuration send(const std::string& fromNode, const std::string& toNode,
+                   std::size_t bytes, std::function<void()> onDelivered);
+
+  std::size_t messagesSent() const { return messages_; }
+  std::size_t bytesSent() const { return bytes_; }
+
+ private:
+  Simulator& sim_;
+  const NetworkModel& network_;
+  std::size_t messages_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace microedge

@@ -1,0 +1,82 @@
+#include "dataplane/wrr.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+namespace {
+Status validateTargets(const std::vector<WrrTarget>& targets) {
+  if (targets.empty()) return invalidArgument("WRR: empty target set");
+  for (const auto& t : targets) {
+    if (t.id.empty()) return invalidArgument("WRR: empty target id");
+    if (t.weight == 0) {
+      return invalidArgument(strCat("WRR: target ", t.id, " has zero weight"));
+    }
+  }
+  return Status::ok();
+}
+
+// Dividing by the gcd keeps proportions identical while shortening the
+// schedule period (weights arrive as milli-units, e.g. 400:200 -> 2:1).
+void reduceByGcd(std::vector<WrrTarget>& targets) {
+  std::uint32_t g = 0;
+  for (const auto& t : targets) g = std::gcd(g, t.weight);
+  if (g > 1) {
+    for (auto& t : targets) t.weight /= g;
+  }
+}
+}  // namespace
+
+Status SmoothWrr::setTargets(std::vector<WrrTarget> targets) {
+  ME_RETURN_IF_ERROR(validateTargets(targets));
+  reduceByGcd(targets);
+  targets_ = std::move(targets);
+  current_.assign(targets_.size(), 0);
+  counts_.assign(targets_.size(), 0);
+  totalWeight_ = 0;
+  for (const auto& t : targets_) totalWeight_ += t.weight;
+  return Status::ok();
+}
+
+const std::string& SmoothWrr::pick() {
+  assert(!targets_.empty() && "pick() on empty WRR");
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    current_[i] += static_cast<std::int64_t>(targets_[i].weight);
+    if (current_[i] > current_[best]) best = i;
+  }
+  current_[best] -= static_cast<std::int64_t>(totalWeight_);
+  ++counts_[best];
+  return targets_[best].id;
+}
+
+std::uint64_t SmoothWrr::pickCount(const std::string& id) const {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].id == id) return counts_[i];
+  }
+  return 0;
+}
+
+Status BurstWrr::setTargets(std::vector<WrrTarget> targets) {
+  ME_RETURN_IF_ERROR(validateTargets(targets));
+  reduceByGcd(targets);
+  targets_ = std::move(targets);
+  index_ = 0;
+  emitted_ = 0;
+  return Status::ok();
+}
+
+const std::string& BurstWrr::pick() {
+  assert(!targets_.empty() && "pick() on empty WRR");
+  if (emitted_ >= targets_[index_].weight) {
+    emitted_ = 0;
+    index_ = (index_ + 1) % targets_.size();
+  }
+  ++emitted_;
+  return targets_[index_].id;
+}
+
+}  // namespace microedge

@@ -1,0 +1,67 @@
+#pragma once
+
+// Weighted round-robin schedulers for the LB Service (§5.3).
+//
+// The paper forwards requests "using Weighted Round Robin (WRR) with Weight
+// Fair Queuing (WFQ) spread": targets are interleaved so that a 2:1 weight
+// ratio produces A B A A B A ... rather than A A B (smooth WRR, the
+// algorithm nginx uses, which matches WFQ's virtual-finish-time spread for
+// equal-size requests). The naive burst variant is kept for the ablation
+// bench: bursty dispatch into a serial device inflates queueing-delay tails
+// even when long-run proportions are identical.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace microedge {
+
+struct WrrTarget {
+  std::string id;
+  std::uint32_t weight = 0;
+};
+
+// Smooth WRR: each pick adds weight_i to current_i, selects the max, then
+// subtracts the total weight from the winner. Deterministic; over any window
+// of totalWeight picks each target is chosen exactly weight_i times, and
+// picks of the same target are spread maximally apart.
+class SmoothWrr {
+ public:
+  // Replaces the target set. Zero-weight targets are rejected.
+  Status setTargets(std::vector<WrrTarget> targets);
+
+  bool empty() const { return targets_.empty(); }
+  std::size_t targetCount() const { return targets_.size(); }
+  std::uint64_t totalWeight() const { return totalWeight_; }
+  const std::vector<WrrTarget>& targets() const { return targets_; }
+
+  // Next target id. Precondition: !empty().
+  const std::string& pick();
+
+  std::uint64_t pickCount(const std::string& id) const;
+
+ private:
+  std::vector<WrrTarget> targets_;
+  std::vector<std::int64_t> current_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t totalWeight_ = 0;
+};
+
+// Naive burst WRR: emits weight_i consecutive picks of target i before
+// moving on. Same long-run proportions, worst-case burstiness.
+class BurstWrr {
+ public:
+  Status setTargets(std::vector<WrrTarget> targets);
+
+  bool empty() const { return targets_.empty(); }
+  const std::string& pick();
+
+ private:
+  std::vector<WrrTarget> targets_;
+  std::size_t index_ = 0;
+  std::uint32_t emitted_ = 0;
+};
+
+}  // namespace microedge

@@ -1,0 +1,33 @@
+#include "metrics/breakdown.hpp"
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+void BreakdownAggregator::add(const FrameBreakdown& frame) {
+  preprocess_.add(frame.preprocess);
+  requestTransmit_.add(frame.requestTransmit);
+  queueDelay_.add(frame.queueDelay);
+  inference_.add(frame.inference);
+  responseTransmit_.add(frame.responseTransmit);
+  postprocess_.add(frame.postprocess);
+  endToEnd_.add(frame.endToEnd());
+}
+
+std::string BreakdownAggregator::render(const std::string& label) const {
+  auto row = [](const char* name, const DurationSummary& s) {
+    return strCat("  ", padRight(name, 18), padLeft(fmtDouble(s.meanMs(), 2), 8),
+                  " ms mean", padLeft(fmtDouble(s.p99Ms(), 2), 9), " ms p99\n");
+  };
+  std::string out = strCat(label, " (", count(), " frames)\n");
+  out += row("pre-processing", preprocess_);
+  out += row("request transmit", requestTransmit_);
+  out += row("queue delay", queueDelay_);
+  out += row("inference", inference_);
+  out += row("response transmit", responseTransmit_);
+  out += row("post-processing", postprocess_);
+  out += row("end-to-end", endToEnd_);
+  return out;
+}
+
+}  // namespace microedge

@@ -1,0 +1,57 @@
+#include "metrics/slo.hpp"
+
+#include <algorithm>
+
+namespace microedge {
+
+void SloMonitor::recordSubmitted(SimTime at) {
+  if (submitted_ == 0) firstSubmit_ = at;
+  ++submitted_;
+}
+
+void SloMonitor::recordCompleted(SimTime at, SimDuration endToEnd) {
+  ++completed_;
+  lastComplete_ = std::max(lastComplete_, at);
+  latency_.add(endToEnd);
+}
+
+double SloMonitor::achievedFps() const {
+  if (completed_ == 0) return 0.0;
+  double active = toSeconds(lastComplete_ - firstSubmit_);
+  if (active <= 0.0) return 0.0;
+  return static_cast<double>(completed_) / active;
+}
+
+bool SloMonitor::throughputMet() const {
+  if (submitted_ == 0) return true;  // stream never started
+  return achievedFps() >= config_.targetFps * (1.0 - config_.fpsTolerance);
+}
+
+bool SloMonitor::latencyMet() const {
+  if (config_.latencyBound <= SimDuration::zero() || latency_.empty()) {
+    return true;
+  }
+  return latency_.p99Ms() <= toMilliseconds(config_.latencyBound);
+}
+
+SloReport summarizeSlo(const std::vector<const SloMonitor*>& monitors) {
+  SloReport report;
+  report.streams = monitors.size();
+  if (monitors.empty()) return report;
+  double sumFps = 0.0;
+  double minFps = -1.0;
+  Summary latencies;
+  for (const SloMonitor* m : monitors) {
+    if (m->sloMet()) ++report.streamsMeetingSlo;
+    double fps = m->achievedFps();
+    sumFps += fps;
+    if (minFps < 0.0 || fps < minFps) minFps = fps;
+    latencies.merge(m->latency().raw());
+  }
+  report.minAchievedFps = std::max(minFps, 0.0);
+  report.meanAchievedFps = sumFps / static_cast<double>(monitors.size());
+  report.p99LatencyMs = latencies.p99();
+  return report;
+}
+
+}  // namespace microedge

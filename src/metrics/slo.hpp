@@ -1,0 +1,78 @@
+#pragma once
+
+// Per-stream SLO monitoring.
+//
+// The paper's critical SLO is *throughput*: every camera stream must sustain
+// its frame rate; otherwise yet-to-be-processed frames queue up and blow the
+// per-frame latency bound (§2). The monitor therefore checks two things per
+// stream: achieved FPS against the target, and queue stability (outstanding
+// frames must stay bounded — a growing backlog means the duty-cycle budget
+// was violated).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/time.hpp"
+
+namespace microedge {
+
+class SloMonitor {
+ public:
+  struct Config {
+    double targetFps = 15.0;
+    // Achieved FPS may fall below target by this relative tolerance (frames
+    // in flight at the horizon are not yet counted).
+    double fpsTolerance = 0.05;
+    // A healthy stream keeps at most a few frames in flight; more signals
+    // queue build-up on an oversubscribed TPU.
+    std::uint64_t maxOutstanding = 4;
+    // Optional per-frame latency bound; 0 disables the check.
+    SimDuration latencyBound{};
+  };
+
+  explicit SloMonitor(Config config) : config_(config) {}
+
+  void recordSubmitted(SimTime at);
+  void recordCompleted(SimTime at, SimDuration endToEnd);
+
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t outstanding() const { return submitted_ - completed_; }
+  const DurationSummary& latency() const { return latency_; }
+
+  // Completed frames / active seconds (first submit -> last completion).
+  double achievedFps() const;
+  bool throughputMet() const;
+  bool queueStable() const { return outstanding() <= config_.maxOutstanding; }
+  bool latencyMet() const;
+  bool sloMet() const {
+    return throughputMet() && queueStable() && latencyMet();
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  SimTime firstSubmit_{};
+  SimTime lastComplete_{};
+  DurationSummary latency_;
+};
+
+// Cluster-level summary across streams.
+struct SloReport {
+  std::size_t streams = 0;
+  std::size_t streamsMeetingSlo = 0;
+  double minAchievedFps = 0.0;
+  double meanAchievedFps = 0.0;
+  double p99LatencyMs = 0.0;
+
+  bool allMet() const { return streams == streamsMeetingSlo; }
+};
+
+SloReport summarizeSlo(const std::vector<const SloMonitor*>& monitors);
+
+}  // namespace microedge

@@ -1,0 +1,61 @@
+#include "metrics/utilization.hpp"
+
+namespace microedge {
+
+UtilizationTracker::UtilizationTracker(Simulator& sim,
+                                       std::vector<TpuDevice*> tpus,
+                                       SimDuration window)
+    : sim_(sim), tpus_(std::move(tpus)),
+      task_(sim, window, [this] { takeSample(); }) {}
+
+void UtilizationTracker::start() {
+  trackStart_ = sim_.now();
+  windowStart_ = sim_.now();
+  busyAtWindowStart_.clear();
+  busyAtWindowStart_.reserve(tpus_.size());
+  for (const TpuDevice* tpu : tpus_) {
+    busyAtWindowStart_.push_back(tpu->busyTime());
+  }
+  busyAtTrackStart_ = busyAtWindowStart_;
+  samples_.clear();
+  task_.start();
+}
+
+void UtilizationTracker::takeSample() {
+  Sample sample;
+  sample.at = sim_.now();
+  sample.perTpu.reserve(tpus_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < tpus_.size(); ++i) {
+    double u = tpus_[i]->utilizationSince(busyAtWindowStart_[i], windowStart_);
+    sample.perTpu.push_back(u);
+    sum += u;
+    busyAtWindowStart_[i] = tpus_[i]->busyTime();
+  }
+  sample.mean = tpus_.empty() ? 0.0 : sum / static_cast<double>(tpus_.size());
+  windowStart_ = sim_.now();
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<double> UtilizationTracker::overallPerTpu() const {
+  std::vector<double> out;
+  out.reserve(tpus_.size());
+  SimDuration elapsed = sim_.now() - trackStart_;
+  for (std::size_t i = 0; i < tpus_.size(); ++i) {
+    SimDuration busy = tpus_[i]->busyTime() - busyAtTrackStart_[i];
+    out.push_back(elapsed > SimDuration::zero()
+                      ? toSeconds(busy) / toSeconds(elapsed)
+                      : 0.0);
+  }
+  return out;
+}
+
+double UtilizationTracker::overallMean() const {
+  auto per = overallPerTpu();
+  if (per.empty()) return 0.0;
+  double sum = 0.0;
+  for (double u : per) sum += u;
+  return sum / static_cast<double>(per.size());
+}
+
+}  // namespace microedge

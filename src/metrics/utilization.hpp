@@ -1,0 +1,52 @@
+#pragma once
+
+// TPU utilization measurement.
+//
+// Utilization = busy occupancy / wall time, computed from the devices' exact
+// busy-time integrals. The tracker snapshots every TPU on a fixed window
+// (per-minute for the Fig. 6a time series) and also provides whole-run
+// averages (Fig. 5b / 5d bars).
+
+#include <vector>
+
+#include "cluster/tpu_device.hpp"
+#include "sim/simulator.hpp"
+
+namespace microedge {
+
+class UtilizationTracker {
+ public:
+  struct Sample {
+    SimTime at{};
+    std::vector<double> perTpu;  // utilization of each TPU over the window
+    double mean = 0.0;           // cluster-mean over the window
+  };
+
+  UtilizationTracker(Simulator& sim, std::vector<TpuDevice*> tpus,
+                     SimDuration window);
+
+  // Begins periodic sampling; the first sample lands one window from now.
+  void start();
+  void stop() { task_.stop(); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Mean utilization of each TPU over [trackStart, now].
+  std::vector<double> overallPerTpu() const;
+  // Cluster-mean utilization over [trackStart, now].
+  double overallMean() const;
+
+ private:
+  void takeSample();
+
+  Simulator& sim_;
+  std::vector<TpuDevice*> tpus_;
+  PeriodicTask task_;
+  SimTime trackStart_{};
+  std::vector<SimDuration> busyAtTrackStart_;
+  std::vector<SimDuration> busyAtWindowStart_;
+  SimTime windowStart_{};
+  std::vector<Sample> samples_;
+};
+
+}  // namespace microedge

@@ -1,0 +1,17 @@
+#include "models/model.hpp"
+
+namespace microedge {
+
+std::string_view toString(ModelTask task) {
+  switch (task) {
+    case ModelTask::kDetection:
+      return "detection";
+    case ModelTask::kClassification:
+      return "classification";
+    case ModelTask::kSegmentation:
+      return "segmentation";
+  }
+  return "unknown";
+}
+
+}  // namespace microedge

@@ -1,0 +1,64 @@
+#pragma once
+
+// ML model descriptors.
+//
+// The reproduction does not execute real neural networks: from the point of
+// view of MicroEdge's scheduler and data plane, a model is fully described
+// by (a) its per-frame service time on the Edge TPU, (b) the size of its
+// parameter data (which must fit the TPU's ~8 MB SRAM, 6.9 MB of which is
+// usable for parameters), and (c) its input resolution (which determines the
+// bytes moved from TPU Client to TPU Service). These are the only properties
+// the paper's evaluation depends on; values are calibrated from the paper's
+// text (see models/zoo.hpp).
+
+#include <cstddef>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace microedge {
+
+enum class ModelTask { kDetection, kClassification, kSegmentation };
+
+std::string_view toString(ModelTask task);
+
+struct ModelInfo {
+  std::string name;
+  ModelTask task = ModelTask::kClassification;
+  // Per-frame service time on the TPU with the model fully cached in TPU
+  // memory (no swap, no partial-cache streaming).
+  SimDuration inferenceLatency{};
+  // Parameter-data footprint in TPU memory, MB.
+  double paramSizeMb = 0.0;
+  int inputWidth = 0;
+  int inputHeight = 0;
+  int inputChannels = 3;
+  // Client-side pipeline stage costs on an RPi 4 (Fig. 2 / Fig. 7b): frame
+  // resize + normalization before transmission, and application
+  // post-processing of the inference result.
+  SimDuration preprocessLatency = milliseconds(2);
+  SimDuration postprocessLatency = microseconds(800);
+  // Result payload returned by the TPU Service: small boxes/labels for
+  // detection/classification, a dense mask for segmentation.
+  std::size_t outputBytes = 2048;
+
+  // Bytes transmitted per pre-processed frame (client resizes before send).
+  std::size_t inputBytes() const {
+    return static_cast<std::size_t>(inputWidth) * inputHeight * inputChannels;
+  }
+
+  // The paper's TPU-unit duty cycle at a given frame rate: t / T.
+  // May exceed 1.0 (e.g. BodyPix at 15 FPS needs 1.2 units).
+  double tpuUnitsAt(double fps) const {
+    return toSeconds(inferenceLatency) * fps;
+  }
+
+  // Frame rate that drives a dedicated TPU to 100% utilization (the orange
+  // line in the paper's Fig. 1).
+  double fpsForFullUtilization() const {
+    double s = toSeconds(inferenceLatency);
+    return s > 0.0 ? 1.0 / s : 0.0;
+  }
+};
+
+}  // namespace microedge

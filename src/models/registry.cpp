@@ -1,0 +1,60 @@
+#include "models/registry.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+Status ModelRegistry::add(ModelInfo info) {
+  if (info.name.empty()) return invalidArgument("model name must be non-empty");
+  if (info.inferenceLatency <= SimDuration::zero()) {
+    return invalidArgument(strCat("model ", info.name,
+                                  ": inference latency must be positive"));
+  }
+  if (info.paramSizeMb <= 0.0) {
+    return invalidArgument(
+        strCat("model ", info.name, ": parameter size must be positive"));
+  }
+  if (info.inputWidth <= 0 || info.inputHeight <= 0 || info.inputChannels <= 0) {
+    return invalidArgument(
+        strCat("model ", info.name, ": input dimensions must be positive"));
+  }
+  auto [it, inserted] = models_.emplace(info.name, std::move(info));
+  (void)it;
+  if (!inserted) {
+    return alreadyExists(strCat("model ", it->first, " already registered"));
+  }
+  return Status::ok();
+}
+
+void ModelRegistry::addOrReplace(ModelInfo info) {
+  models_[info.name] = std::move(info);
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  return models_.count(name) > 0;
+}
+
+StatusOr<ModelInfo> ModelRegistry::find(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return notFound(strCat("model ", name, " not registered"));
+  }
+  return it->second;
+}
+
+const ModelInfo& ModelRegistry::at(const std::string& name) const {
+  auto it = models_.find(name);
+  assert(it != models_.end() && "ModelRegistry::at on unknown model");
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, info] : models_) out.push_back(name);
+  return out;
+}
+
+}  // namespace microedge

@@ -1,0 +1,35 @@
+#pragma once
+
+// Model registry: name -> ModelInfo lookup shared by the control plane (the
+// extended scheduler infers parameter-data size from the requested model
+// name, §4.1) and the data plane (TPU Service resolves service times).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "models/model.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+class ModelRegistry {
+ public:
+  // Registers a model; replaces kInvalidArgument fields with an error.
+  Status add(ModelInfo info);
+  // Registers or overwrites (used by tests to tweak calibration).
+  void addOrReplace(ModelInfo info);
+
+  bool contains(const std::string& name) const;
+  StatusOr<ModelInfo> find(const std::string& name) const;
+  // Precondition: contains(name). Asserts otherwise.
+  const ModelInfo& at(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return models_.size(); }
+
+ private:
+  std::map<std::string, ModelInfo> models_;
+};
+
+}  // namespace microedge

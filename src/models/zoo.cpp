@@ -1,0 +1,71 @@
+#include "models/zoo.hpp"
+
+#include <cassert>
+
+namespace microedge {
+namespace zoo {
+
+const std::vector<std::string>& fig1Models() {
+  static const std::vector<std::string> kOrder = {
+      kSsdLiteMobileDet, kSsdMobileNetV1,  kSsdMobileNetV2, kEfficientDetLite0,
+      kMobileNetV1,      kMobileNetV2,     kInceptionV1,    kResNet50,
+  };
+  return kOrder;
+}
+
+ModelRegistry standardZoo() {
+  ModelRegistry reg;
+  auto add = [&reg](const char* name, ModelTask task, double latencyMs,
+                    double paramMb, int w, int h) {
+    ModelInfo info;
+    info.name = name;
+    info.task = task;
+    info.inferenceLatency = millisecondsF(latencyMs);
+    info.paramSizeMb = paramMb;
+    info.inputWidth = w;
+    info.inputHeight = h;
+    // Resize cost on the RPi grows with the target resolution; ~2.5 ms for
+    // 300x300 (Fig. 7b's pre-processing share).
+    info.preprocessLatency = millisecondsF(
+        0.7 + 2e-5 * static_cast<double>(w) * static_cast<double>(h));
+    if (task == ModelTask::kSegmentation) {
+      // Dense mask: one byte per pixel back to the client, and a heavier
+      // post-processing stage (mask decode/overlay).
+      info.outputBytes = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+      info.postprocessLatency = millisecondsF(2.0);
+    } else if (task == ModelTask::kDetection) {
+      info.outputBytes = 2048;  // boxes + classes + scores
+      info.postprocessLatency = millisecondsF(0.8);
+    } else {
+      info.outputBytes = 1024;  // top-k labels
+      info.postprocessLatency = millisecondsF(0.3);
+    }
+    Status s = reg.add(std::move(info));
+    assert(s.isOk());
+    (void)s;
+  };
+
+  // Detection (Fig. 1, left group).
+  add(kSsdLiteMobileDet, ModelTask::kDetection, 9.0, 4.5, 320, 320);
+  add(kSsdMobileNetV1, ModelTask::kDetection, 12.0, 5.9, 300, 300);
+  add(kSsdMobileNetV2, ModelTask::kDetection, 23.3, 6.2, 300, 300);
+  add(kEfficientDetLite0, ModelTask::kDetection, 90.0, 4.4, 320, 320);
+
+  // Classification (Fig. 1, right group).
+  add(kMobileNetV1, ModelTask::kClassification, 4.5, 4.2, 224, 224);
+  add(kMobileNetV2, ModelTask::kClassification, 6.0, 3.5, 224, 224);
+  add(kInceptionV1, ModelTask::kClassification, 16.0, 6.4, 224, 224);
+  add(kResNet50, ModelTask::kClassification, 75.0, 25.0, 224, 224);
+
+  // Intro example: 69 ms per frame, needs 2 TPUs for 15 FPS.
+  add(kEfficientNetLite0, ModelTask::kClassification, 69.0, 4.6, 224, 224);
+  // BodyPix at 15 FPS needs 1.2 TPU units -> 80 ms.
+  add(kBodyPixMobileNetV1, ModelTask::kSegmentation, 80.0, 4.7, 481, 353);
+  // UNet V2, used in the §6.3 trace study.
+  add(kUNetV2, ModelTask::kSegmentation, 55.0, 2.5, 256, 256);
+
+  return reg;
+}
+
+}  // namespace zoo
+}  // namespace microedge

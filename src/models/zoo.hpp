@@ -1,0 +1,49 @@
+#pragma once
+
+// The model zoo used throughout the reproduction.
+//
+// Calibration sources (all from the paper text):
+//   - Coral-Pie's detection model (SSD MobileNet V2) "needs 0.35 TPU units"
+//     at 15 FPS  =>  0.35 * 66.7 ms  = 23.3 ms per frame.
+//   - BodyPix MobileNet V1 "requires > 1 TPU unit at 15 FPS", quantified as
+//     1.2 units  =>  80 ms per frame.
+//   - "per-frame inference processing for the EfficientNet-Lite0 model on a
+//     TPU takes 69 ms".
+//   - ResNet-50 and EfficientDet-Lite0 "may exceed the inter-arrival time
+//     between camera frames even at 15 FPS" (> 66.7 ms).
+//   - Fig. 1 profiles four detection + four classification models; five of
+//     the eight need > 50 FPS (i.e. < 20 ms/frame) to reach 100% TPU
+//     utilization.
+//   - TPU memory: ~8 MB, of which 6.9 MB usable for parameter data.
+// Remaining latencies/sizes follow Coral's published USB-accelerator
+// benchmarks, scaled to stay consistent with the constraints above.
+
+#include "models/registry.hpp"
+
+namespace microedge {
+namespace zoo {
+
+// Fig. 1's eight models: four detection...
+inline constexpr const char* kSsdMobileNetV1 = "ssd-mobilenet-v1";
+inline constexpr const char* kSsdMobileNetV2 = "ssd-mobilenet-v2";
+inline constexpr const char* kSsdLiteMobileDet = "ssdlite-mobiledet";
+inline constexpr const char* kEfficientDetLite0 = "efficientdet-lite0";
+// ...and four classification.
+inline constexpr const char* kMobileNetV1 = "mobilenet-v1";
+inline constexpr const char* kMobileNetV2 = "mobilenet-v2";
+inline constexpr const char* kInceptionV1 = "inception-v1";
+inline constexpr const char* kResNet50 = "resnet-50";
+
+// Additional models used by the evaluation sections.
+inline constexpr const char* kEfficientNetLite0 = "efficientnet-lite0";
+inline constexpr const char* kBodyPixMobileNetV1 = "bodypix-mobilenet-v1";
+inline constexpr const char* kUNetV2 = "unet-v2";
+
+// The eight Fig. 1 models, in the figure's plotting order.
+const std::vector<std::string>& fig1Models();
+
+// Registry preloaded with every model above.
+ModelRegistry standardZoo();
+
+}  // namespace zoo
+}  // namespace microedge

@@ -1,0 +1,133 @@
+#include "orch/api_server.hpp"
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+ApiServer::ApiServer(NodeRegistry& registry, Clock clock)
+    : registry_(registry), scheduler_(registry), clock_(std::move(clock)) {}
+
+StatusOr<std::uint64_t> ApiServer::createPod(PodSpec spec) {
+  if (spec.name.empty()) return invalidArgument("pod name must be non-empty");
+  if (findPodByName(spec.name) != nullptr) {
+    return alreadyExists(strCat("pod ", spec.name, " already exists"));
+  }
+
+  Pod pod;
+  pod.uid = nextUid_++;
+  pod.spec = std::move(spec);
+  pod.createdAt = now();
+
+  auto reject = [&](Status status) -> StatusOr<std::uint64_t> {
+    emit(PodEvent{PodEventType::kRejected, pod.uid, pod.spec.name, ""});
+    ME_LOG(kInfo) << "pod " << pod.spec.name
+                  << " rejected: " << status.toString();
+    return status;
+  };
+
+  // Step 1: default scheduler narrows the node pool (CPU, memory, labels,
+  // anti-affinity).
+  std::vector<std::string> candidates = scheduler_.feasibleNodes(pod.spec);
+  if (candidates.empty()) {
+    return reject(resourceExhausted(
+        strCat("pod ", pod.spec.name, ": no node satisfies CPU/memory/"
+               "placement constraints")));
+  }
+
+  // Step 2: TPU allocation through the extension, if requested.
+  std::string chosenNode;
+  if (pod.spec.tpu.has_value() && extension_) {
+    auto choice = extension_(pod, candidates);
+    if (!choice.isOk()) return reject(choice.status());
+    chosenNode = std::move(choice).value();
+  } else if (pod.spec.tpu.has_value()) {
+    return reject(failedPrecondition(
+        strCat("pod ", pod.spec.name,
+               " requests TPU resources but no scheduler extension is "
+               "registered (vanilla K3s cannot allocate TPU units)")));
+  } else {
+    chosenNode = candidates.front();
+  }
+
+  // Step 3: bind.
+  Status bound = registry_.allocate(chosenNode, pod.spec);
+  if (!bound.isOk()) {
+    // The extension must pick from the candidate list, so this indicates a
+    // race/bug; surface it rather than leaking TPU allocations.
+    return reject(internalError(strCat("pod ", pod.spec.name, ": bind to ",
+                                       chosenNode,
+                                       " failed: ", bound.message())));
+  }
+  pod.nodeName = chosenNode;
+  pod.phase = PodPhase::kRunning;
+  std::uint64_t uid = pod.uid;
+  PodEvent event{PodEventType::kRunning, uid, pod.spec.name, chosenNode};
+  pods_.emplace(uid, std::move(pod));
+  emit(event);
+  return uid;
+}
+
+Status ApiServer::terminate(std::uint64_t uid, PodPhase finalPhase) {
+  auto it = pods_.find(uid);
+  if (it == pods_.end()) {
+    return notFound(strCat("pod uid ", uid, " not found"));
+  }
+  Pod pod = std::move(it->second);
+  pods_.erase(it);
+  Status released = registry_.release(pod.nodeName, pod.spec);
+  if (!released.isOk()) {
+    ME_LOG(kError) << "release for pod " << pod.spec.name
+                   << " failed: " << released.toString();
+  }
+  pod.phase = finalPhase;
+  pod.finishedAt = now();
+  PodEvent event{PodEventType::kTerminated, pod.uid, pod.spec.name,
+                 pod.nodeName};
+  terminated_.push_back(std::move(pod));
+  emit(event);
+  return Status::ok();
+}
+
+Status ApiServer::deletePod(std::uint64_t uid) {
+  return terminate(uid, PodPhase::kSucceeded);
+}
+
+Status ApiServer::deletePodByName(const std::string& name) {
+  const Pod* pod = findPodByName(name);
+  if (pod == nullptr) return notFound(strCat("pod ", name, " not found"));
+  return deletePod(pod->uid);
+}
+
+Status ApiServer::failPod(std::uint64_t uid) {
+  return terminate(uid, PodPhase::kFailed);
+}
+
+bool ApiServer::isAlive(std::uint64_t uid) const {
+  return pods_.count(uid) > 0;
+}
+
+const Pod* ApiServer::getPod(std::uint64_t uid) const {
+  auto it = pods_.find(uid);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+const Pod* ApiServer::findPodByName(const std::string& name) const {
+  for (const auto& [uid, pod] : pods_) {
+    if (pod.spec.name == name) return &pod;
+  }
+  return nullptr;
+}
+
+std::vector<const Pod*> ApiServer::livePods() const {
+  std::vector<const Pod*> out;
+  out.reserve(pods_.size());
+  for (const auto& [uid, pod] : pods_) out.push_back(&pod);
+  return out;
+}
+
+void ApiServer::emit(const PodEvent& event) {
+  for (const auto& watcher : watchers_) watcher(event);
+}
+
+}  // namespace microedge

@@ -1,0 +1,80 @@
+#include "orch/default_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+bool DefaultScheduler::matchesSelector(const NodeEntry& node,
+                                       const PodSpec& spec) {
+  for (const auto& [key, value] : spec.nodeSelector) {
+    auto it = node.labels.find(key);
+    if (it == node.labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+bool DefaultScheduler::fitsResources(const NodeEntry& node,
+                                     const PodSpec& spec) {
+  return node.cpuFree() >= spec.resources.cpuMillicores &&
+         node.memFree() >= spec.resources.memoryMb;
+}
+
+bool DefaultScheduler::satisfiesAntiAffinity(const NodeEntry& node,
+                                             const PodSpec& spec) {
+  return spec.antiAffinityKey.empty() ||
+         node.antiAffinityKeys.count(spec.antiAffinityKey) == 0;
+}
+
+double DefaultScheduler::score(const NodeEntry& node,
+                               const PodSpec& spec) const {
+  // Least-allocated scoring: average of free-fraction for CPU and memory
+  // after hypothetically placing the pod. Higher is better.
+  double cpuFrac =
+      node.cpuCapacity > 0
+          ? static_cast<double>(node.cpuFree() - spec.resources.cpuMillicores) /
+                static_cast<double>(node.cpuCapacity)
+          : 0.0;
+  double memFrac =
+      node.memCapacity > 0
+          ? static_cast<double>(node.memFree() - spec.resources.memoryMb) /
+                static_cast<double>(node.memCapacity)
+          : 0.0;
+  return (cpuFrac + memFrac) / 2.0;
+}
+
+std::vector<std::string> DefaultScheduler::feasibleNodes(
+    const PodSpec& spec) const {
+  struct Scored {
+    double score;
+    std::string name;
+  };
+  std::vector<Scored> scored;
+  for (const NodeEntry* node : registry_.nodes()) {
+    if (!node->ready) continue;
+    if (!matchesSelector(*node, spec)) continue;
+    if (!fitsResources(*node, spec)) continue;
+    if (!satisfiesAntiAffinity(*node, spec)) continue;
+    scored.push_back(Scored{score(*node, spec), node->name});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.name < b.name;
+  });
+  std::vector<std::string> out;
+  out.reserve(scored.size());
+  for (auto& s : scored) out.push_back(std::move(s.name));
+  return out;
+}
+
+StatusOr<std::string> DefaultScheduler::pickNode(const PodSpec& spec) const {
+  auto nodes = feasibleNodes(spec);
+  if (nodes.empty()) {
+    return resourceExhausted(
+        strCat("no feasible node for pod ", spec.name));
+  }
+  return nodes.front();
+}
+
+}  // namespace microedge

@@ -1,0 +1,45 @@
+#pragma once
+
+// The default (K3s-like) CPU/memory scheduler.
+//
+// Two phases, mirroring kube-scheduler: *filter* (node ready, resources fit,
+// nodeSelector labels match, anti-affinity satisfied) and *score*
+// (least-allocated: prefer the node with the most free CPU+memory after
+// placement, for load spreading). MicroEdge leaves CPU/memory scheduling to
+// this component and layers TPU allocation on top (§4): the filtered
+// candidate list is handed to the extended scheduler, which may narrow the
+// choice further.
+
+#include <string>
+#include <vector>
+
+#include "orch/node_registry.hpp"
+#include "orch/pod.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+class DefaultScheduler {
+ public:
+  explicit DefaultScheduler(const NodeRegistry& registry)
+      : registry_(registry) {}
+
+  // Nodes passing all filter predicates, best score first (deterministic:
+  // ties broken by node name).
+  std::vector<std::string> feasibleNodes(const PodSpec& spec) const;
+
+  // Best feasible node, or kResourceExhausted if none fits.
+  StatusOr<std::string> pickNode(const PodSpec& spec) const;
+
+  // Individual predicates, exposed for tests and for the extended scheduler.
+  static bool matchesSelector(const NodeEntry& node, const PodSpec& spec);
+  static bool fitsResources(const NodeEntry& node, const PodSpec& spec);
+  static bool satisfiesAntiAffinity(const NodeEntry& node, const PodSpec& spec);
+
+ private:
+  double score(const NodeEntry& node, const PodSpec& spec) const;
+
+  const NodeRegistry& registry_;
+};
+
+}  // namespace microedge

@@ -1,0 +1,100 @@
+#include "orch/node_registry.hpp"
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+Status NodeRegistry::addNode(const std::string& name, long cpuMillicores,
+                             long memoryMb,
+                             std::map<std::string, std::string> labels) {
+  if (name.empty()) return invalidArgument("node name must be non-empty");
+  if (cpuMillicores <= 0 || memoryMb <= 0) {
+    return invalidArgument(strCat("node ", name, ": non-positive capacity"));
+  }
+  NodeEntry entry;
+  entry.name = name;
+  entry.cpuCapacity = cpuMillicores;
+  entry.memCapacity = memoryMb;
+  entry.labels = std::move(labels);
+  auto [it, inserted] = nodes_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) return alreadyExists(strCat("node ", name, " already exists"));
+  return Status::ok();
+}
+
+Status NodeRegistry::removeNode(const std::string& name) {
+  if (nodes_.erase(name) == 0) {
+    return notFound(strCat("node ", name, " not registered"));
+  }
+  return Status::ok();
+}
+
+Status NodeRegistry::setReady(const std::string& name, bool ready) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return notFound(strCat("node ", name, " not registered"));
+  it->second.ready = ready;
+  return Status::ok();
+}
+
+bool NodeRegistry::contains(const std::string& name) const {
+  return nodes_.count(name) > 0;
+}
+
+const NodeEntry* NodeRegistry::find(const std::string& name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const NodeEntry*> NodeRegistry::nodes() const {
+  std::vector<const NodeEntry*> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, entry] : nodes_) out.push_back(&entry);
+  return out;
+}
+
+Status NodeRegistry::allocate(const std::string& node, const PodSpec& spec) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return notFound(strCat("node ", node, " not registered"));
+  NodeEntry& entry = it->second;
+  if (!entry.ready) {
+    return failedPrecondition(strCat("node ", node, " is not ready"));
+  }
+  if (entry.cpuFree() < spec.resources.cpuMillicores ||
+      entry.memFree() < spec.resources.memoryMb) {
+    return resourceExhausted(strCat("node ", node, ": insufficient CPU/memory"));
+  }
+  if (!spec.antiAffinityKey.empty() &&
+      entry.antiAffinityKeys.count(spec.antiAffinityKey) > 0) {
+    return failedPrecondition(
+        strCat("node ", node, ": anti-affinity key '", spec.antiAffinityKey,
+               "' already present"));
+  }
+  entry.cpuAllocated += spec.resources.cpuMillicores;
+  entry.memAllocated += spec.resources.memoryMb;
+  if (!spec.antiAffinityKey.empty()) {
+    entry.antiAffinityKeys.insert(spec.antiAffinityKey);
+  }
+  return Status::ok();
+}
+
+Status NodeRegistry::release(const std::string& node, const PodSpec& spec) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return notFound(strCat("node ", node, " not registered"));
+  NodeEntry& entry = it->second;
+  entry.cpuAllocated -= spec.resources.cpuMillicores;
+  entry.memAllocated -= spec.resources.memoryMb;
+  if (entry.cpuAllocated < 0 || entry.memAllocated < 0) {
+    entry.cpuAllocated = std::max(entry.cpuAllocated, 0L);
+    entry.memAllocated = std::max(entry.memAllocated, 0L);
+    return internalError(strCat("node ", node, ": released more than allocated"));
+  }
+  if (!spec.antiAffinityKey.empty()) {
+    auto keyIt = entry.antiAffinityKeys.find(spec.antiAffinityKey);
+    if (keyIt != entry.antiAffinityKeys.end()) {
+      entry.antiAffinityKeys.erase(keyIt);
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace microedge

@@ -1,0 +1,57 @@
+#pragma once
+
+// Node registry: the control plane's view of schedulable capacity.
+//
+// Tracks per-node allocatable CPU/memory, labels, readiness, and which
+// anti-affinity keys are present on each node. The default scheduler and the
+// extended scheduler both read from this registry; only the API server
+// writes allocations.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "orch/pod.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+struct NodeEntry {
+  std::string name;
+  long cpuCapacity = 0;
+  long memCapacity = 0;
+  long cpuAllocated = 0;
+  long memAllocated = 0;
+  bool ready = true;
+  std::map<std::string, std::string> labels;
+  // Anti-affinity keys of pods currently placed here.
+  std::multiset<std::string> antiAffinityKeys;
+
+  long cpuFree() const { return cpuCapacity - cpuAllocated; }
+  long memFree() const { return memCapacity - memAllocated; }
+};
+
+class NodeRegistry {
+ public:
+  Status addNode(const std::string& name, long cpuMillicores, long memoryMb,
+                 std::map<std::string, std::string> labels = {});
+  Status removeNode(const std::string& name);
+  Status setReady(const std::string& name, bool ready);
+
+  bool contains(const std::string& name) const;
+  const NodeEntry* find(const std::string& name) const;
+  std::vector<const NodeEntry*> nodes() const;
+  std::size_t size() const { return nodes_.size(); }
+
+  // Reserves the pod's CPU/memory on the node and records its anti-affinity
+  // key. Fails (without side effects) if capacity is insufficient.
+  Status allocate(const std::string& node, const PodSpec& spec);
+  // Releases a previous allocation.
+  Status release(const std::string& node, const PodSpec& spec);
+
+ private:
+  std::map<std::string, NodeEntry> nodes_;
+};
+
+}  // namespace microedge

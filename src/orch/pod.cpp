@@ -1,0 +1,19 @@
+#include "orch/pod.hpp"
+
+namespace microedge {
+
+std::string_view toString(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending:
+      return "Pending";
+    case PodPhase::kRunning:
+      return "Running";
+    case PodPhase::kSucceeded:
+      return "Succeeded";
+    case PodPhase::kFailed:
+      return "Failed";
+  }
+  return "Unknown";
+}
+
+}  // namespace microedge

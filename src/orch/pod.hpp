@@ -1,0 +1,67 @@
+#pragma once
+
+// Pod model: the smallest unit of deployment (K3s semantics).
+//
+// A PodSpec carries the standard K3s resource requests (CPU millicores,
+// memory) plus MicroEdge's two extension knobs from §4.1: the inference
+// *model* the application uses, and the fractional *TPU units* it needs
+// (duty cycle t/T). Label selectors and an anti-affinity key reproduce the
+// K3s placement features the paper relies on (§2).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace microedge {
+
+struct ResourceRequest {
+  long cpuMillicores = 0;
+  long memoryMb = 0;
+};
+
+// MicroEdge extension knobs (§4.1).
+struct TpuRequest {
+  std::string model;    // inference model the pod will invoke
+  double tpuUnits = 0;  // fractional duty cycle; may exceed 1.0
+};
+
+struct PodSpec {
+  std::string name;
+  std::string image;
+  ResourceRequest resources;
+  std::optional<TpuRequest> tpu;
+  // Expected input frame rate; constant for a camera stream's lifetime (§2).
+  double fps = 0.0;
+  std::map<std::string, std::string> labels;
+  // Node must carry every selector label with the given value.
+  std::map<std::string, std::string> nodeSelector;
+  // Pods sharing a non-empty anti-affinity key refuse to share a node.
+  std::string antiAffinityKey;
+};
+
+enum class PodPhase {
+  kPending,
+  kRunning,
+  kSucceeded,
+  kFailed,
+};
+
+std::string_view toString(PodPhase phase);
+
+struct Pod {
+  std::uint64_t uid = 0;
+  PodSpec spec;
+  PodPhase phase = PodPhase::kPending;
+  std::string nodeName;  // empty until bound
+  SimTime createdAt{};
+  SimTime finishedAt{};
+
+  bool alive() const {
+    return phase == PodPhase::kPending || phase == PodPhase::kRunning;
+  }
+};
+
+}  // namespace microedge

@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace microedge {
+
+EventId Simulator::schedule(SimTime when, Callback fn) {
+  assert(fn && "scheduling empty callback");
+  if (when < now_) when = now_;
+  EventId id{nextSeq_++};
+  queue_.push(Event{when, id.seq, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::scheduleAfter(SimDuration delay, Callback fn) {
+  if (delay < SimDuration::zero()) delay = SimDuration::zero();
+  return schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.seq);
+}
+
+bool Simulator::fireNext() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is moved out via pop-copy.
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (fireNext()) ++n;
+  return n;
+}
+
+std::size_t Simulator::runUntil(SimTime deadline) {
+  std::size_t n = 0;
+  for (;;) {
+    // Peek past cancelled events.
+    while (!queue_.empty() && cancelled_.count(queue_.top().seq)) {
+      cancelled_.erase(queue_.top().seq);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    if (fireNext()) ++n;
+  }
+  if (deadline > now_) now_ = deadline;
+  return n;
+}
+
+bool Simulator::step() { return fireNext(); }
+
+void PeriodicTask::startAt(SimTime first) {
+  stop();
+  running_ = true;
+  next_ = sim_.schedule(first, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (running_) {
+    sim_.cancel(next_);
+    running_ = false;
+  }
+}
+
+void PeriodicTask::fire() {
+  // Re-arm before invoking so the callback can stop() the task.
+  next_ = sim_.scheduleAfter(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace microedge

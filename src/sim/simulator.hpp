@@ -1,0 +1,113 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// This is the substrate on which the MicroEdge cluster is reproduced: TPU
+// devices, network links, camera frame sources and the reclamation poller
+// are all event-driven actors scheduling callbacks on one Simulator.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonic sequence number breaks ties), so a seeded experiment always
+// produces identical results.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace microedge {
+
+// Handle to a scheduled event; lets the owner cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `when` (must be >= now()).
+  EventId schedule(SimTime when, Callback fn);
+  // Schedules `fn` after `delay` (clamped to >= 0).
+  EventId scheduleAfter(SimDuration delay, Callback fn);
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // no-op (lifecycle races are normal: a pod may die while its next frame
+  // event is in flight).
+  void cancel(EventId id);
+
+  // Runs until the event queue drains. Returns the number of events fired.
+  std::size_t run();
+  // Fires all events with timestamp <= deadline, then advances now() to
+  // deadline. Events scheduled beyond the deadline remain pending.
+  std::size_t runUntil(SimTime deadline);
+  std::size_t runFor(SimDuration horizon) { return runUntil(now_ + horizon); }
+  // Fires exactly the next event (if any). Returns false when queue is empty.
+  bool step();
+
+  bool empty() const { return pendingCount() == 0; }
+  std::size_t pendingCount() const { return queue_.size() - cancelled_.size(); }
+  std::size_t firedCount() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fireNext();
+
+  SimTime now_ = kSimEpoch;
+  std::uint64_t nextSeq_ = 1;
+  std::size_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+// Fires a callback every `period` starting at `start` until stopped or the
+// owner is destroyed. Used for camera frame generation, the reclamation
+// poller and utilization sampling.
+class PeriodicTask {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTask(Simulator& sim, SimDuration period, Callback fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start() { startAt(sim_.now() + period_); }
+  void startAt(SimTime first);
+  void stop();
+  bool running() const { return running_; }
+  SimDuration period() const { return period_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  SimDuration period_;
+  Callback fn_;
+  EventId next_{};
+  bool running_ = false;
+};
+
+}  // namespace microedge

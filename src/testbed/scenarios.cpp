@@ -1,0 +1,128 @@
+#include "testbed/scenarios.hpp"
+
+#include <cassert>
+
+#include "cluster/cost.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+namespace {
+
+TestbedConfig scalabilityTestbedConfig(const ScalabilityScenario& scenario,
+                                       int tpuCount) {
+  assert(tpuCount % scenario.tpusPerNode == 0);
+  TestbedConfig config;
+  config.mode = scenario.mode;
+  config.seed = scenario.seed;
+  config.topology.tRpiCount = tpuCount / scenario.tpusPerNode;
+  config.topology.tpusPerTRpi = scenario.tpusPerNode;
+  // Enough vanilla RPis to host every candidate application pod.
+  config.topology.vRpiCount = scenario.cameraUpperBound / 2 + 8;
+  config.utilizationWindow = seconds(10);
+  return config;
+}
+
+int deployUntilRejected(Testbed& testbed, const ScalabilityScenario& scenario) {
+  int count = 0;
+  for (int i = 0; i < scenario.cameraUpperBound; ++i) {
+    CameraDeployment deployment = scenario.deployment;
+    deployment.name = strCat("cam-", i);
+    auto result = testbed.deployCamera(deployment);
+    if (!result.isOk()) break;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int admissionCapacity(const ScalabilityScenario& scenario, int tpuCount) {
+  Testbed testbed(scalabilityTestbedConfig(scenario, tpuCount));
+  return deployUntilRejected(testbed, scenario);
+}
+
+ScalabilityPoint runScalabilityPoint(const ScalabilityScenario& scenario,
+                                     int tpuCount) {
+  Testbed testbed(scalabilityTestbedConfig(scenario, tpuCount));
+  ScalabilityPoint point;
+  point.tpuCount = tpuCount;
+  point.camerasSupported = deployUntilRejected(testbed, scenario);
+  testbed.run(scenario.horizon);
+  point.meanUtilization = testbed.meanTpuUtilization();
+  SloReport slo = testbed.sloReport();
+  point.sloMet = slo.allMet();
+  point.minAchievedFps = slo.minAchievedFps;
+  return point;
+}
+
+CostPoint costToSupport(SchedulingMode mode,
+                        const CameraDeployment& deployment, int cameras) {
+  CostPoint point;
+  point.label = std::string(toString(mode));
+  // The paper's Table 1 accounting: one RPi per camera pipeline (the
+  // detection stage's host), TPUs from the scheduler's packing.
+  point.rpis = cameras;
+
+  ScalabilityScenario scenario;
+  scenario.mode = mode;
+  scenario.deployment = deployment;
+  scenario.cameraUpperBound = cameras;
+  // Smallest TPU count whose admission capacity reaches the target.
+  for (int tpus = 1; tpus <= 4 * cameras; ++tpus) {
+    if (admissionCapacity(scenario, tpus) >= cameras) {
+      point.tpus = tpus;
+      break;
+    }
+  }
+  CostModel cost;
+  point.totalCost = cost.clusterCost(point.rpis, point.tpus);
+  return point;
+}
+
+TraceRunResult runTraceScenario(const TraceScenarioConfig& config) {
+  TestbedConfig testbedConfig = config.testbed;
+  testbedConfig.utilizationWindow = config.sampleWindow;
+  Testbed testbed(testbedConfig);
+  MafTraceGenerator generator(config.trace);
+  std::vector<TraceEvent> events = generator.generate(testbed.zoo());
+  events = downsizeToCapacity(std::move(events), config.capacityUnits,
+                              config.trace.horizon);
+
+  TraceReplayer::Callbacks callbacks;
+  callbacks.onCreate = [&testbed](const TraceEvent& ev) {
+    CameraDeployment deployment;
+    deployment.name = ev.instanceName;
+    deployment.model = ev.model;
+    deployment.fps = ev.fps;
+    deployment.tpuUnits = ev.tpuUnits;
+    return testbed.deployCamera(deployment).isOk();
+  };
+  callbacks.onDelete = [&testbed](const TraceEvent& ev) {
+    Status s = testbed.removeCamera(ev.instanceName);
+    (void)s;
+  };
+  TraceReplayer replayer(testbed.sim(), std::move(events),
+                         std::move(callbacks));
+  replayer.scheduleAll(config.trace.horizon);
+
+  TraceRunResult result;
+  PeriodicTask activeSampler(testbed.sim(), config.sampleWindow, [&] {
+    result.activePerWindow.push_back(
+        static_cast<int>(testbed.liveCameraCount()));
+  });
+  activeSampler.start();
+  testbed.run(config.trace.horizon);
+  activeSampler.stop();
+
+  for (const auto& sample : testbed.utilization().samples()) {
+    result.utilizationPerWindow.push_back(sample.mean);
+  }
+  result.attempted = replayer.attempted();
+  result.accepted = replayer.accepted();
+  result.rejected = replayer.rejected();
+  result.slo = testbed.sloReport();
+  return result;
+}
+
+}  // namespace microedge

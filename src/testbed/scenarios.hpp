@@ -1,0 +1,81 @@
+#pragma once
+
+// Reusable experiment drivers behind the bench binaries (Figs. 5/6,
+// Table 1). Each driver builds a fresh Testbed, runs one configuration and
+// returns the measured point, so benches stay declarative.
+
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.hpp"
+#include "trace/maf.hpp"
+#include "trace/replay.hpp"
+
+namespace microedge {
+
+// ---- Fig. 5: scalability & utilization -------------------------------------
+
+struct ScalabilityScenario {
+  SchedulingMode mode = SchedulingMode::kMicroEdgeWp;
+  CameraDeployment deployment;  // template; names are generated
+  // BodyPix's bare-metal baseline attaches 2 TPUs per RPi.
+  int tpusPerNode = 1;
+  int cameraUpperBound = 64;
+  SimDuration horizon = seconds(40);
+  std::uint64_t seed = 7;
+};
+
+struct ScalabilityPoint {
+  int tpuCount = 0;
+  int camerasSupported = 0;     // deployments accepted by admission
+  double meanUtilization = 0.0; // measured mean TPU utilization
+  bool sloMet = false;          // every admitted stream met its SLO
+  double minAchievedFps = 0.0;
+};
+
+// Deploys cameras (from the template) until admission rejects one, then runs
+// the horizon and measures utilization + SLO compliance.
+ScalabilityPoint runScalabilityPoint(const ScalabilityScenario& scenario,
+                                     int tpuCount);
+
+// Admission capacity only (no data-plane run): how many cameras fit.
+int admissionCapacity(const ScalabilityScenario& scenario, int tpuCount);
+
+// ---- Table 1: cost to support a target camera count ------------------------
+
+struct CostPoint {
+  std::string label;
+  int tpus = 0;
+  int rpis = 0;
+  double totalCost = 0.0;
+};
+
+// Minimum TPU count (searched) for `cameras` instances of the deployment
+// under the given mode; RPi count follows the paper's accounting (one RPi
+// per camera pipeline, as in Coral-Pie's detection stage).
+CostPoint costToSupport(SchedulingMode mode, const CameraDeployment& deployment,
+                        int cameras);
+
+// ---- Fig. 6: trace-driven study ---------------------------------------------
+
+struct TraceScenarioConfig {
+  TestbedConfig testbed;
+  MafTraceConfig trace;
+  // Downsizing cap in TPU units (the paper trims the trace to cluster
+  // capacity; a factor above the TPU count keeps contention meaningful).
+  double capacityUnits = 7.5;
+  SimDuration sampleWindow = minutes(1);
+};
+
+struct TraceRunResult {
+  std::vector<double> utilizationPerWindow;  // cluster-mean per window
+  std::vector<int> activePerWindow;          // cameras served per window
+  std::size_t attempted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  SloReport slo;
+};
+
+TraceRunResult runTraceScenario(const TraceScenarioConfig& config);
+
+}  // namespace microedge

@@ -1,0 +1,35 @@
+#include "trace/replay.hpp"
+
+#include <cassert>
+
+namespace microedge {
+
+TraceReplayer::TraceReplayer(Simulator& sim, std::vector<TraceEvent> events,
+                             Callbacks callbacks)
+    : sim_(sim), events_(std::move(events)), callbacks_(std::move(callbacks)) {
+  assert(callbacks_.onCreate && callbacks_.onDelete);
+}
+
+void TraceReplayer::scheduleAll(SimDuration horizon) {
+  SimTime horizonEnd = sim_.now() + horizon;
+  for (const TraceEvent& ev : events_) {
+    sim_.schedule(ev.createAt, [this, &ev, horizonEnd] {
+      ++attempted_;
+      if (!callbacks_.onCreate(ev)) {
+        ++rejected_;
+        return;
+      }
+      ++accepted_;
+      ++active_;
+      SimTime deleteAt = ev.lifetime == SimDuration::zero()
+                             ? horizonEnd
+                             : ev.createAt + ev.lifetime;
+      sim_.schedule(deleteAt, [this, &ev] {
+        callbacks_.onDelete(ev);
+        --active_;
+      });
+    });
+  }
+}
+
+}  // namespace microedge

@@ -1,0 +1,48 @@
+#pragma once
+
+// Trace replay: turns TraceEvents into pod creations/deletions against the
+// experiment harness. The replayer is deliberately decoupled from the
+// testbed through two callbacks so it can also drive pure control-plane
+// simulations in tests.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/maf.hpp"
+
+namespace microedge {
+
+class TraceReplayer {
+ public:
+  struct Callbacks {
+    // Attempt to deploy the stream; return false if admission rejected it.
+    std::function<bool(const TraceEvent&)> onCreate;
+    // Tear down a previously accepted stream.
+    std::function<void(const TraceEvent&)> onDelete;
+  };
+
+  TraceReplayer(Simulator& sim, std::vector<TraceEvent> events,
+                Callbacks callbacks);
+
+  // Schedules every event; deletions land at createAt + lifetime (streams
+  // with zero lifetime are torn down at the horizon).
+  void scheduleAll(SimDuration horizon);
+
+  std::size_t attempted() const { return attempted_; }
+  std::size_t accepted() const { return accepted_; }
+  std::size_t rejected() const { return rejected_; }
+  std::size_t activeCount() const { return active_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<TraceEvent> events_;
+  Callbacks callbacks_;
+  std::size_t attempted_ = 0;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace microedge

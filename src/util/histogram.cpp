@@ -1,0 +1,100 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+void Summary::add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+  sumSq_ += v * v;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+  sumSq_ += other.sumSq_;
+}
+
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double n = static_cast<double>(samples_.size());
+  double var = (sumSq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void Summary::sortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  sortIfNeeded();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  sortIfNeeded();
+  return samples_.back();
+}
+
+double Summary::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  sortIfNeeded();
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double v) {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+std::string Histogram::render(std::size_t maxBarWidth) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * maxBarWidth / peak;
+    out += strCat(padLeft(fmtDouble(bucketLow(i), 1), 8), " - ",
+                  padLeft(fmtDouble(bucketHigh(i), 1), 8), " | ",
+                  std::string(bar, '#'), " ", counts_[i], "\n");
+  }
+  return out;
+}
+
+}  // namespace microedge

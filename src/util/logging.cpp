@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <cstring>
+#include <iostream>
+
+namespace microedge {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << message
+            << std::endl;
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : level_(level), enabled_(Logger::instance().enabled(level)) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    os_ << (base ? base + 1 : file) << ":" << line << " ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) Logger::instance().write(level_, os_.str());
+}
+
+}  // namespace detail
+}  // namespace microedge

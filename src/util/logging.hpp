@@ -1,0 +1,51 @@
+#pragma once
+
+// Minimal leveled logger. Experiments run with kWarning by default so the
+// benches print clean report tables; tests can raise verbosity per-case.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace microedge {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace microedge
+
+#define ME_LOG(level) \
+  ::microedge::detail::LogLine(::microedge::LogLevel::level, __FILE__, __LINE__)

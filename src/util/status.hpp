@@ -1,0 +1,131 @@
+#pragma once
+
+// Lightweight Status / StatusOr error handling (absl-flavoured, std-only).
+//
+// MicroEdge's control plane rejects deployments for well-defined reasons
+// (insufficient TPU units, model-size rule violation, no candidate nodes);
+// those reasons travel through Status codes rather than exceptions so the
+// admission path stays allocation-light and explicit.
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace microedge {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+std::string_view statusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  bool isOk() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string toString() const {
+    if (isOk()) return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status invalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status notFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status alreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status resourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status failedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status internalError(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.toString();
+}
+
+// Value-or-error. Accessing value() on an error status is a programming
+// error (asserted in debug builds).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(implicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    assert(!status_.isOk() && "StatusOr constructed from OK status");
+  }
+
+  bool isOk() const { return status_.isOk(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(isOk());
+    return *value_;
+  }
+  T& value() & {
+    assert(isOk());
+    return *value_;
+  }
+  T&& value() && {
+    assert(isOk());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T valueOr(T fallback) const {
+    return isOk() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace microedge
+
+// Propagate errors up the call stack without exceptions.
+#define ME_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::microedge::Status me_status_ = (expr);      \
+    if (!me_status_.isOk()) return me_status_;    \
+  } while (false)

@@ -1,0 +1,30 @@
+#pragma once
+
+// Small string helpers (no std::format on this toolchain).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microedge {
+
+template <typename... Args>
+std::string strCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Fixed-precision double formatting, e.g. fmtDouble(1.23456, 2) == "1.23".
+std::string fmtDouble(double v, int precision);
+
+// Left/right padding for plain-text report tables.
+std::string padLeft(std::string_view s, std::size_t width);
+std::string padRight(std::string_view s, std::size_t width);
+
+std::vector<std::string> splitLines(std::string_view text);
+std::string_view trim(std::string_view s);
+bool startsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace microedge

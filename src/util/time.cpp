@@ -1,0 +1,20 @@
+#include "util/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+std::string toString(SimDuration d) {
+  double ns = static_cast<double>(d.count());
+  double abs = ns < 0 ? -ns : ns;
+  if (abs < 1e3) return strCat(d.count(), "ns");
+  if (abs < 1e6) return strCat(fmtDouble(ns / 1e3, 2), "us");
+  if (abs < 1e9) return strCat(fmtDouble(ns / 1e6, 2), "ms");
+  return strCat(fmtDouble(ns / 1e9, 3), "s");
+}
+
+std::string toString(SimTime t) {
+  return strCat("t=", fmtDouble(toSecondsSinceEpoch(t), 6), "s");
+}
+
+}  // namespace microedge

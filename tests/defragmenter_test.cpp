@@ -1,0 +1,205 @@
+// Defragmenter: consolidation of partitioned pods and full FFD replans,
+// with transactional rollback when a replan is infeasible.
+
+#include <gtest/gtest.h>
+
+#include "core/defragmenter.hpp"
+#include "models/zoo.hpp"
+#include "testbed/testbed.hpp"
+
+namespace microedge {
+namespace {
+
+class DefragmenterTest : public ::testing::Test {
+ protected:
+  DefragmenterTest() : zoo_(zoo::standardZoo()) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(pool_.addTpu("tpu-" + std::to_string(i), 6.9).isOk());
+    }
+    admission_ = std::make_unique<AdmissionController>(pool_, zoo_,
+                                                       AdmissionConfig{});
+    reclamation_ = std::make_unique<Reclamation>(*admission_);
+    defrag_ = std::make_unique<Defragmenter>(*admission_, *reclamation_,
+                                             Defragmenter::Callbacks{});
+  }
+
+  Allocation admitAndTrack(std::uint64_t uid, const std::string& model,
+                           double units) {
+    auto result = admission_->admit(uid, model, TpuUnit::fromDouble(units));
+    EXPECT_TRUE(result.isOk()) << result.status();
+    reclamation_->track(uid, result->allocation);
+    return result->allocation;
+  }
+
+  void release(std::uint64_t uid) {
+    ASSERT_TRUE(reclamation_->releaseNow(uid).isOk());
+  }
+
+  ModelRegistry zoo_;
+  TpuPool pool_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<Reclamation> reclamation_;
+  std::unique_ptr<Defragmenter> defrag_;
+};
+
+TEST_F(DefragmenterTest, EmptyPoolIsTrivial) {
+  auto report = defrag_->replanAll();
+  EXPECT_TRUE(report.applied);
+  EXPECT_EQ(report.podsReplanned, 0u);
+}
+
+TEST_F(DefragmenterTest, ConsolidateCollapsesPartitionedPod) {
+  // Fragment on purpose: fill 0.6 everywhere, partition a 0.9 pod, then
+  // drain the fillers — the 0.9 pod is left scattered 0.4/0.4/0.1 across
+  // three now-mostly-empty TPUs.
+  admitAndTrack(1, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(2, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(3, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(4, zoo::kMobileNetV1, 0.6);
+  Allocation scattered = admitAndTrack(5, zoo::kMobileNetV1, 0.9);
+  ASSERT_EQ(scattered.shares.size(), 3u);
+  release(1);
+  release(2);
+  release(3);
+  release(4);
+
+  auto report = defrag_->consolidate();
+  EXPECT_TRUE(report.applied);
+  EXPECT_EQ(report.podsReplanned, 1u);
+  const Allocation* after = reclamation_->allocationOf(5);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->shares.size(), 1u);  // one TPU now fits the whole 0.9
+  EXPECT_EQ(after->totalUnits().milli(), 900);
+  EXPECT_EQ(pool_.totalLoad().milli(), 900);
+}
+
+TEST_F(DefragmenterTest, ConsolidateKeepsPlacementWhenNoImprovement) {
+  admitAndTrack(1, zoo::kMobileNetV1, 0.8);
+  admitAndTrack(2, zoo::kMobileNetV1, 0.8);
+  admitAndTrack(3, zoo::kMobileNetV1, 0.8);
+  admitAndTrack(4, zoo::kMobileNetV1, 0.8);
+  // 1.2-unit pod cannot fit any single TPU: must stay partitioned.
+  Allocation split = admitAndTrack(5, zoo::kMobileNetV1, 0.6);
+  ASSERT_GT(split.shares.size(), 1u);
+  auto report = defrag_->consolidate();
+  EXPECT_EQ(report.podsReplanned, 0u);
+  EXPECT_EQ(reclamation_->allocationOf(5)->shares.size(),
+            split.shares.size());
+  EXPECT_EQ(pool_.totalLoad().milli(), 3800);
+}
+
+TEST_F(DefragmenterTest, ReplanAllCompactsLoadOntoFewerTpus) {
+  // Churn pattern: admit small pods everywhere, release alternating ones so
+  // load is smeared thin across all four TPUs.
+  for (std::uint64_t uid = 1; uid <= 8; ++uid) {
+    admitAndTrack(uid, zoo::kMobileNetV1, 0.25);
+  }
+  for (std::uint64_t uid = 1; uid <= 8; uid += 2) release(uid);
+  // 4 x 0.25 = 1.0 unit spread over several TPUs.
+  std::size_t usedBefore = pool_.usedTpuCount();
+  auto report = defrag_->replanAll();
+  EXPECT_TRUE(report.applied);
+  EXPECT_LE(report.usedTpusAfter, usedBefore);
+  EXPECT_EQ(report.usedTpusAfter, 1u);  // 1.0 unit fits one TPU exactly
+  EXPECT_EQ(pool_.totalLoad().milli(), 1000);
+  // Every pod still tracked with its full request.
+  for (std::uint64_t uid = 2; uid <= 8; uid += 2) {
+    ASSERT_TRUE(reclamation_->isTracked(uid));
+    EXPECT_EQ(reclamation_->allocationOf(uid)->totalUnits().milli(), 250);
+  }
+}
+
+TEST_F(DefragmenterTest, ReplanEmitsLoadAndLbCallbacks) {
+  std::vector<LoadCommand> loads;
+  std::vector<std::uint64_t> reconfigured;
+  Defragmenter::Callbacks callbacks;
+  callbacks.loadModel = [&](const LoadCommand& cmd) {
+    loads.push_back(cmd);
+    return Status::ok();
+  };
+  callbacks.reconfigureLb = [&](std::uint64_t uid, const LbConfig& config) {
+    reconfigured.push_back(uid);
+    EXPECT_FALSE(config.empty());
+  };
+  Defragmenter defrag(*admission_, *reclamation_, std::move(callbacks));
+
+  for (std::uint64_t uid = 1; uid <= 4; ++uid) {
+    admitAndTrack(uid, zoo::kMobileNetV1, 0.6);
+  }
+  Allocation split = admitAndTrack(5, zoo::kMobileNetV1, 0.9);
+  ASSERT_GT(split.shares.size(), 1u);
+  release(1);
+  release(2);
+  auto report = defrag.consolidate();
+  EXPECT_EQ(report.podsReplanned, 1u);
+  EXPECT_EQ(reconfigured, std::vector<std::uint64_t>{5});
+}
+
+TEST_F(DefragmenterTest, CapacityRecoveredAfterDefrag) {
+  // The motivating scenario: fragmentation blocks a large request that the
+  // total free capacity could serve on one TPU.
+  admitAndTrack(1, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(2, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(3, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(4, zoo::kMobileNetV1, 0.6);
+  admitAndTrack(5, zoo::kMobileNetV1, 0.9);  // scattered over residuals
+  release(1);
+  release(3);
+  // ResNet-50 (25 MB params) needs an *empty* TPU; fragmentation denies it.
+  auto blocked = admission_->admit(6, zoo::kResNet50, TpuUnit::fromDouble(0.5));
+  ASSERT_FALSE(blocked.isOk());
+
+  auto report = defrag_->replanAll();
+  ASSERT_TRUE(report.applied);
+  EXPECT_LT(report.usedTpusAfter, report.usedTpusBefore);
+
+  auto unblocked =
+      admission_->admit(6, zoo::kResNet50, TpuUnit::fromDouble(0.5));
+  EXPECT_TRUE(unblocked.isOk()) << unblocked.status();
+}
+
+// ---- Through the testbed ---------------------------------------------------
+
+TEST(DefragTestbedTest, LiveStreamsSurviveDefrag) {
+  Testbed testbed;
+  // Create fragmentation with real churn.
+  for (int i = 0; i < 12; ++i) {
+    CameraDeployment deployment;
+    deployment.name = "cam-" + std::to_string(i);
+    deployment.model = zoo::kSsdMobileNetV2;
+    ASSERT_TRUE(testbed.deployCamera(deployment).isOk());
+  }
+  testbed.run(seconds(3));
+  for (int i = 0; i < 12; i += 2) {
+    ASSERT_TRUE(testbed.removeCamera("cam-" + std::to_string(i)).isOk());
+  }
+  testbed.run(seconds(5));  // reclamation poller returns the units
+
+  auto report = testbed.defragment(/*full=*/true);
+  EXPECT_TRUE(report.applied);
+  EXPECT_LE(report.usedTpusAfter, report.usedTpusBefore);
+
+  // Remaining streams keep flowing at 15 FPS after the replan.
+  std::vector<std::uint64_t> before;
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    before.push_back(camera->slo().completed());
+  }
+  testbed.run(seconds(10));
+  std::size_t i = 0;
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    EXPECT_GT(camera->slo().completed(), before[i] + 130) << camera->name();
+    EXPECT_TRUE(camera->slo().sloMet()) << camera->name();
+    ++i;
+  }
+}
+
+TEST(DefragTestbedTest, BaselineModeIsNoop) {
+  TestbedConfig config;
+  config.mode = SchedulingMode::kBaselineDedicated;
+  Testbed testbed(config);
+  auto report = testbed.defragment();
+  EXPECT_FALSE(report.applied);
+}
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,151 @@
+// Model descriptors, registry behaviour and the calibrated zoo (the facts
+// the paper's text pins down).
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+
+namespace microedge {
+namespace {
+
+TEST(ModelInfoTest, TpuUnitsMatchDutyCycleDefinition) {
+  ModelInfo m;
+  m.inferenceLatency = milliseconds(30);
+  // The paper's worked example: 30 ms service at 10 FPS -> 0.3 units.
+  EXPECT_NEAR(m.tpuUnitsAt(10.0), 0.3, 1e-9);
+}
+
+TEST(ModelInfoTest, FullUtilizationFps) {
+  ModelInfo m;
+  m.inferenceLatency = milliseconds(20);
+  EXPECT_NEAR(m.fpsForFullUtilization(), 50.0, 1e-9);
+}
+
+TEST(ModelInfoTest, InputBytes) {
+  ModelInfo m;
+  m.inputWidth = 300;
+  m.inputHeight = 300;
+  m.inputChannels = 3;
+  EXPECT_EQ(m.inputBytes(), 270000u);
+}
+
+TEST(ModelRegistryTest, AddAndFind) {
+  ModelRegistry reg;
+  ModelInfo m;
+  m.name = "m1";
+  m.inferenceLatency = milliseconds(10);
+  m.paramSizeMb = 1.0;
+  m.inputWidth = m.inputHeight = 100;
+  EXPECT_TRUE(reg.add(m).isOk());
+  EXPECT_TRUE(reg.contains("m1"));
+  auto found = reg.find("m1");
+  ASSERT_TRUE(found.isOk());
+  EXPECT_EQ(found->name, "m1");
+  EXPECT_EQ(reg.find("m2").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, RejectsDuplicatesAndBadFields) {
+  ModelRegistry reg;
+  ModelInfo m;
+  m.name = "m1";
+  m.inferenceLatency = milliseconds(10);
+  m.paramSizeMb = 1.0;
+  m.inputWidth = m.inputHeight = 100;
+  EXPECT_TRUE(reg.add(m).isOk());
+  EXPECT_EQ(reg.add(m).code(), StatusCode::kAlreadyExists);
+
+  ModelInfo bad = m;
+  bad.name = "";
+  EXPECT_EQ(reg.add(bad).code(), StatusCode::kInvalidArgument);
+  bad = m;
+  bad.name = "m2";
+  bad.inferenceLatency = SimDuration::zero();
+  EXPECT_EQ(reg.add(bad).code(), StatusCode::kInvalidArgument);
+  bad = m;
+  bad.name = "m3";
+  bad.paramSizeMb = 0.0;
+  EXPECT_EQ(reg.add(bad).code(), StatusCode::kInvalidArgument);
+  bad = m;
+  bad.name = "m4";
+  bad.inputWidth = 0;
+  EXPECT_EQ(reg.add(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelRegistryTest, AddOrReplaceOverwrites) {
+  ModelRegistry reg = zoo::standardZoo();
+  ModelInfo m = reg.at(zoo::kMobileNetV1);
+  m.inferenceLatency = milliseconds(99);
+  reg.addOrReplace(m);
+  EXPECT_EQ(reg.at(zoo::kMobileNetV1).inferenceLatency, milliseconds(99));
+}
+
+// ---- zoo calibration against the paper's stated facts -------------------
+
+class ZooTest : public ::testing::Test {
+ protected:
+  ModelRegistry zoo_ = zoo::standardZoo();
+};
+
+TEST_F(ZooTest, ContainsAllEvaluationModels) {
+  for (const auto& name : zoo::fig1Models()) {
+    EXPECT_TRUE(zoo_.contains(name)) << name;
+  }
+  EXPECT_TRUE(zoo_.contains(zoo::kEfficientNetLite0));
+  EXPECT_TRUE(zoo_.contains(zoo::kBodyPixMobileNetV1));
+  EXPECT_TRUE(zoo_.contains(zoo::kUNetV2));
+  EXPECT_EQ(zoo::fig1Models().size(), 8u);
+}
+
+TEST_F(ZooTest, CoralPieDetectionNeeds035UnitsAt15Fps) {
+  // §6.2: "The detection ML model used by Coral-Pie needs 0.35 TPU units".
+  double units = zoo_.at(zoo::kSsdMobileNetV2).tpuUnitsAt(15.0);
+  EXPECT_NEAR(units, 0.35, 0.005);
+}
+
+TEST_F(ZooTest, BodyPixNeeds12UnitsAt15Fps) {
+  // §6.2: "the segmentation ML model used by BodyPix needs 1.2 TPU units".
+  double units = zoo_.at(zoo::kBodyPixMobileNetV1).tpuUnitsAt(15.0);
+  EXPECT_NEAR(units, 1.2, 0.01);
+  EXPECT_GT(units, 1.0);  // the whole reason workload partitioning exists
+}
+
+TEST_F(ZooTest, EfficientNetLite0Takes69Ms) {
+  // §1: "per-frame inference processing for the EfficientNet-Lite0 model on
+  // a TPU takes 69ms".
+  EXPECT_NEAR(toMilliseconds(zoo_.at(zoo::kEfficientNetLite0).inferenceLatency),
+              69.0, 1e-6);
+}
+
+TEST_F(ZooTest, ExpensiveModelsExceedFramePeriodAt15Fps) {
+  // §1: ResNet-50 and EfficientDet-Lite0 exceed the 66.7 ms inter-arrival
+  // period even at 15 FPS.
+  double period = toMilliseconds(framePeriod(15.0));
+  EXPECT_GT(toMilliseconds(zoo_.at(zoo::kResNet50).inferenceLatency), period);
+  EXPECT_GT(toMilliseconds(zoo_.at(zoo::kEfficientDetLite0).inferenceLatency),
+            period);
+}
+
+TEST_F(ZooTest, MajorityOfFig1ModelsNeedOver50FpsForFullUtilization) {
+  // Fig. 1: the orange line is above 50 FPS for most of the eight models.
+  int over50 = 0;
+  for (const auto& name : zoo::fig1Models()) {
+    if (zoo_.at(name).fpsForFullUtilization() > 50.0) ++over50;
+  }
+  EXPECT_GE(over50, 4);
+}
+
+TEST_F(ZooTest, ResNet50DoesNotFitTpuParameterMemory) {
+  // 25 MB of parameters vs 6.9 MB budget: partial caching territory.
+  EXPECT_GT(zoo_.at(zoo::kResNet50).paramSizeMb, 6.9);
+}
+
+TEST_F(ZooTest, SegmentationReturnsDenseMask) {
+  const ModelInfo& bodypix = zoo_.at(zoo::kBodyPixMobileNetV1);
+  EXPECT_EQ(bodypix.outputBytes,
+            static_cast<std::size_t>(bodypix.inputWidth) *
+                static_cast<std::size_t>(bodypix.inputHeight));
+  EXPECT_LT(zoo_.at(zoo::kSsdMobileNetV2).outputBytes, 10000u);
+}
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,262 @@
+// Orchestrator substrate: node registry accounting, the default CPU/memory
+// scheduler's filter + least-allocated scoring, and the ApiServer admission
+// pipeline with extension hooks.
+
+#include <gtest/gtest.h>
+
+#include "orch/api_server.hpp"
+
+namespace microedge {
+namespace {
+
+PodSpec makeSpec(const std::string& name, long cpu = 500, long mem = 256) {
+  PodSpec spec;
+  spec.name = name;
+  spec.resources = {cpu, mem};
+  return spec;
+}
+
+// ---- NodeRegistry -----------------------------------------------------
+
+TEST(NodeRegistryTest, AddRemoveReady) {
+  NodeRegistry reg;
+  EXPECT_TRUE(reg.addNode("n1", 4000, 8192).isOk());
+  EXPECT_EQ(reg.addNode("n1", 4000, 8192).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(reg.addNode("", 4000, 8192).isOk());
+  EXPECT_FALSE(reg.addNode("n2", 0, 8192).isOk());
+  EXPECT_TRUE(reg.contains("n1"));
+  EXPECT_TRUE(reg.setReady("n1", false).isOk());
+  EXPECT_FALSE(reg.find("n1")->ready);
+  EXPECT_TRUE(reg.removeNode("n1").isOk());
+  EXPECT_EQ(reg.removeNode("n1").code(), StatusCode::kNotFound);
+}
+
+TEST(NodeRegistryTest, AllocateAndRelease) {
+  NodeRegistry reg;
+  ASSERT_TRUE(reg.addNode("n1", 4000, 8192).isOk());
+  PodSpec spec = makeSpec("p1", 1500, 2048);
+  EXPECT_TRUE(reg.allocate("n1", spec).isOk());
+  EXPECT_EQ(reg.find("n1")->cpuFree(), 2500);
+  EXPECT_EQ(reg.find("n1")->memFree(), 8192 - 2048);
+  EXPECT_TRUE(reg.release("n1", spec).isOk());
+  EXPECT_EQ(reg.find("n1")->cpuFree(), 4000);
+}
+
+TEST(NodeRegistryTest, RejectsOverAllocation) {
+  NodeRegistry reg;
+  ASSERT_TRUE(reg.addNode("n1", 1000, 1024).isOk());
+  EXPECT_FALSE(reg.allocate("n1", makeSpec("p1", 2000, 100)).isOk());
+  EXPECT_FALSE(reg.allocate("n1", makeSpec("p2", 100, 4096)).isOk());
+  EXPECT_FALSE(reg.allocate("missing", makeSpec("p3")).isOk());
+}
+
+TEST(NodeRegistryTest, NotReadyNodeRejectsAllocations) {
+  NodeRegistry reg;
+  ASSERT_TRUE(reg.addNode("n1", 4000, 8192).isOk());
+  ASSERT_TRUE(reg.setReady("n1", false).isOk());
+  EXPECT_EQ(reg.allocate("n1", makeSpec("p1")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NodeRegistryTest, AntiAffinityKeysBlockCohabitation) {
+  NodeRegistry reg;
+  ASSERT_TRUE(reg.addNode("n1", 4000, 8192).isOk());
+  PodSpec a = makeSpec("a");
+  a.antiAffinityKey = "camera";
+  PodSpec b = makeSpec("b");
+  b.antiAffinityKey = "camera";
+  EXPECT_TRUE(reg.allocate("n1", a).isOk());
+  EXPECT_FALSE(reg.allocate("n1", b).isOk());
+  EXPECT_TRUE(reg.release("n1", a).isOk());
+  EXPECT_TRUE(reg.allocate("n1", b).isOk());
+}
+
+TEST(NodeRegistryTest, ReleaseMoreThanAllocatedIsError) {
+  NodeRegistry reg;
+  ASSERT_TRUE(reg.addNode("n1", 4000, 8192).isOk());
+  EXPECT_FALSE(reg.release("n1", makeSpec("ghost", 100, 100)).isOk());
+  EXPECT_EQ(reg.find("n1")->cpuAllocated, 0);
+}
+
+// ---- DefaultScheduler ---------------------------------------------------
+
+class DefaultSchedulerTest : public ::testing::Test {
+ protected:
+  DefaultSchedulerTest() : scheduler_(reg_) {
+    EXPECT_TRUE(reg_.addNode("big", 8000, 16384, {{"tier", "edge"}}).isOk());
+    EXPECT_TRUE(reg_.addNode("small", 2000, 2048, {{"tier", "edge"}}).isOk());
+    EXPECT_TRUE(
+        reg_.addNode("tpu-node", 4000, 8192, {{"tpu", "true"}}).isOk());
+  }
+
+  NodeRegistry reg_;
+  DefaultScheduler scheduler_;
+};
+
+TEST_F(DefaultSchedulerTest, PrefersLeastAllocatedNode) {
+  auto node = scheduler_.pickNode(makeSpec("p1"));
+  ASSERT_TRUE(node.isOk());
+  EXPECT_EQ(*node, "big");  // most free capacity after placement
+}
+
+TEST_F(DefaultSchedulerTest, SelectorFiltersNodes) {
+  PodSpec spec = makeSpec("p1");
+  spec.nodeSelector = {{"tpu", "true"}};
+  auto nodes = scheduler_.feasibleNodes(spec);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], "tpu-node");
+}
+
+TEST_F(DefaultSchedulerTest, ResourceFilter) {
+  auto nodes = scheduler_.feasibleNodes(makeSpec("p1", 3000, 1000));
+  // "small" (2000m) is filtered out.
+  EXPECT_EQ(nodes.size(), 2u);
+  for (const auto& n : nodes) EXPECT_NE(n, "small");
+}
+
+TEST_F(DefaultSchedulerTest, NoFeasibleNodeIsResourceExhausted) {
+  auto node = scheduler_.pickNode(makeSpec("p1", 99999, 10));
+  EXPECT_FALSE(node.isOk());
+  EXPECT_EQ(node.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DefaultSchedulerTest, ScoresShiftWithAllocations) {
+  // Saturate "big" so "tpu-node" wins the next placement.
+  ASSERT_TRUE(reg_.allocate("big", makeSpec("hog", 7000, 12000)).isOk());
+  auto node = scheduler_.pickNode(makeSpec("p2"));
+  ASSERT_TRUE(node.isOk());
+  EXPECT_EQ(*node, "tpu-node");
+}
+
+// ---- ApiServer ----------------------------------------------------------
+
+class ApiServerTest : public ::testing::Test {
+ protected:
+  ApiServerTest() : api_(reg_) {
+    EXPECT_TRUE(reg_.addNode("n1", 4000, 8192).isOk());
+    EXPECT_TRUE(reg_.addNode("n2", 4000, 8192).isOk());
+    api_.watch([this](const PodEvent& ev) { events_.push_back(ev); });
+  }
+
+  NodeRegistry reg_;
+  ApiServer api_;
+  std::vector<PodEvent> events_;
+};
+
+TEST_F(ApiServerTest, CreateBindsAndRuns) {
+  auto uid = api_.createPod(makeSpec("p1"));
+  ASSERT_TRUE(uid.isOk());
+  const Pod* pod = api_.getPod(*uid);
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->phase, PodPhase::kRunning);
+  EXPECT_FALSE(pod->nodeName.empty());
+  EXPECT_EQ(api_.liveCount(), 1u);
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0].type, PodEventType::kRunning);
+}
+
+TEST_F(ApiServerTest, DuplicateNamesRejected) {
+  ASSERT_TRUE(api_.createPod(makeSpec("p1")).isOk());
+  EXPECT_EQ(api_.createPod(makeSpec("p1")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ApiServerTest, DeleteReleasesResources) {
+  auto uid = api_.createPod(makeSpec("p1", 3000, 4000));
+  ASSERT_TRUE(uid.isOk());
+  const std::string node = api_.getPod(*uid)->nodeName;
+  long freeBefore = reg_.find(node)->cpuFree();
+  ASSERT_TRUE(api_.deletePod(*uid).isOk());
+  EXPECT_EQ(reg_.find(node)->cpuFree(), freeBefore + 3000);
+  EXPECT_FALSE(api_.isAlive(*uid));
+  ASSERT_EQ(api_.terminatedPods().size(), 1u);
+  EXPECT_EQ(api_.terminatedPods()[0].phase, PodPhase::kSucceeded);
+  EXPECT_EQ(events_.back().type, PodEventType::kTerminated);
+}
+
+TEST_F(ApiServerTest, FailPodMarksFailed) {
+  auto uid = api_.createPod(makeSpec("p1"));
+  ASSERT_TRUE(uid.isOk());
+  ASSERT_TRUE(api_.failPod(*uid).isOk());
+  EXPECT_EQ(api_.terminatedPods()[0].phase, PodPhase::kFailed);
+}
+
+TEST_F(ApiServerTest, RejectionWhenClusterFull) {
+  ASSERT_TRUE(api_.createPod(makeSpec("a", 4000, 100)).isOk());
+  ASSERT_TRUE(api_.createPod(makeSpec("b", 4000, 100)).isOk());
+  auto rejected = api_.createPod(makeSpec("c", 4000, 100));
+  EXPECT_FALSE(rejected.isOk());
+  EXPECT_EQ(events_.back().type, PodEventType::kRejected);
+  EXPECT_EQ(api_.liveCount(), 2u);
+}
+
+TEST_F(ApiServerTest, TpuPodWithoutExtensionRejected) {
+  // Vanilla K3s cannot allocate TPU units — the paper's whole premise.
+  PodSpec spec = makeSpec("tpu-pod");
+  spec.tpu = TpuRequest{"ssd-mobilenet-v2", 0.35};
+  auto result = api_.createPod(spec);
+  EXPECT_FALSE(result.isOk());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ApiServerTest, ExtensionChoosesNodeAndCanReject) {
+  int calls = 0;
+  api_.setSchedulerExtension(
+      [&calls](const Pod& pod,
+               const std::vector<std::string>& candidates) -> StatusOr<std::string> {
+        ++calls;
+        if (pod.spec.tpu->tpuUnits > 1.0) {
+          return resourceExhausted("not enough TPUs");
+        }
+        return candidates.back();
+      });
+  PodSpec ok = makeSpec("ok");
+  ok.tpu = TpuRequest{"m", 0.5};
+  auto uid = api_.createPod(ok);
+  ASSERT_TRUE(uid.isOk());
+  EXPECT_EQ(calls, 1);
+
+  PodSpec tooBig = makeSpec("too-big");
+  tooBig.tpu = TpuRequest{"m", 2.5};
+  EXPECT_FALSE(api_.createPod(tooBig).isOk());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(api_.liveCount(), 1u);
+}
+
+TEST_F(ApiServerTest, ExtensionNotCalledForPlainPods) {
+  int calls = 0;
+  api_.setSchedulerExtension(
+      [&calls](const Pod&, const std::vector<std::string>& candidates)
+          -> StatusOr<std::string> {
+        ++calls;
+        return candidates.front();
+      });
+  ASSERT_TRUE(api_.createPod(makeSpec("plain")).isOk());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ApiServerTest, FindByNameAndList) {
+  ASSERT_TRUE(api_.createPod(makeSpec("a")).isOk());
+  ASSERT_TRUE(api_.createPod(makeSpec("b")).isOk());
+  EXPECT_NE(api_.findPodByName("a"), nullptr);
+  EXPECT_EQ(api_.findPodByName("zzz"), nullptr);
+  EXPECT_EQ(api_.livePods().size(), 2u);
+  EXPECT_TRUE(api_.deletePodByName("a").isOk());
+  EXPECT_EQ(api_.deletePodByName("a").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ApiServerTest, ClockStampsPods) {
+  SimTime fake = kSimEpoch + seconds(42);
+  NodeRegistry reg;
+  ASSERT_TRUE(reg.addNode("n", 4000, 8192).isOk());
+  ApiServer api(reg, [&fake] { return fake; });
+  auto uid = api.createPod(makeSpec("p"));
+  ASSERT_TRUE(uid.isOk());
+  EXPECT_EQ(api.getPod(*uid)->createdAt, fake);
+  fake += seconds(10);
+  ASSERT_TRUE(api.deletePod(*uid).isOk());
+  EXPECT_EQ(api.terminatedPods()[0].finishedAt, kSimEpoch + seconds(52));
+}
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,174 @@
+// Discrete-event simulator: ordering, determinism, cancellation, periodic
+// tasks and partial runs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace microedge {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(kSimEpoch + milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule(kSimEpoch + milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(kSimEpoch + milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  SimTime t = kSimEpoch + milliseconds(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen{};
+  sim.scheduleAfter(milliseconds(42), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, kSimEpoch + milliseconds(42));
+  EXPECT_EQ(sim.now(), kSimEpoch + milliseconds(42));
+}
+
+TEST(SimulatorTest, ScheduleInPastClampsToNow) {
+  Simulator sim;
+  sim.scheduleAfter(milliseconds(10), [&] {
+    // Attempt to schedule "before now": clamped, still fires.
+    sim.schedule(kSimEpoch, [] {});
+  });
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.scheduleAfter(milliseconds(5), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.firedCount(), 0u);
+}
+
+TEST(SimulatorTest, CancelInvalidIdIsNoop) {
+  Simulator sim;
+  sim.cancel(EventId{});
+  sim.cancel(EventId{9999});
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAfter(milliseconds(10), [&] { ++fired; });
+  sim.scheduleAfter(milliseconds(20), [&] { ++fired; });
+  sim.scheduleAfter(milliseconds(30), [&] { ++fired; });
+  EXPECT_EQ(sim.runUntil(kSimEpoch + milliseconds(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), kSimEpoch + milliseconds(20));
+  EXPECT_EQ(sim.pendingCount(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesNowEvenWithoutEvents) {
+  Simulator sim;
+  sim.runUntil(kSimEpoch + seconds(9));
+  EXPECT_EQ(sim.now(), kSimEpoch + seconds(9));
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreProcessed) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.scheduleAfter(milliseconds(1), chain);
+  };
+  sim.scheduleAfter(milliseconds(1), chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAfter(milliseconds(1), [&] { ++fired; });
+  sim.scheduleAfter(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedInterval) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, milliseconds(100), [&] { fires.push_back(sim.now()); });
+  task.start();
+  sim.runUntil(kSimEpoch + milliseconds(350));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], kSimEpoch + milliseconds(100));
+  EXPECT_EQ(fires[2], kSimEpoch + milliseconds(300));
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, milliseconds(10), [&] { ++count; });
+  task.start();
+  sim.runUntil(kSimEpoch + milliseconds(35));
+  task.stop();
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, CallbackCanStopItself) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask* handle = nullptr;
+  PeriodicTask task(sim, milliseconds(10), [&] {
+    if (++count == 2) handle->stop();
+  });
+  handle = &task;
+  task.start();
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, milliseconds(10), [&] { ++count; });
+    task.start();
+    sim.runUntil(kSimEpoch + milliseconds(15));
+  }
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto runOnce = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule(kSimEpoch + milliseconds(i % 7), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,120 @@
+// Control-plane TPU bookkeeping: loads, model reference counts and lazy
+// reclamation semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/tpu_state.hpp"
+#include "models/zoo.hpp"
+
+namespace microedge {
+namespace {
+
+class TpuStateTest : public ::testing::Test {
+ protected:
+  TpuStateTest() : zoo_(zoo::standardZoo()), tpu_("tpu-00", 6.9) {}
+
+  ModelRegistry zoo_;
+  TpuState tpu_;
+};
+
+TEST_F(TpuStateTest, FreshState) {
+  EXPECT_TRUE(tpu_.currentLoad().isZero());
+  EXPECT_EQ(tpu_.freeUnits(), TpuUnit::full());
+  EXPECT_EQ(tpu_.liveModelCount(), 0u);
+  EXPECT_DOUBLE_EQ(tpu_.usedParamMb(zoo_), 0.0);
+}
+
+TEST_F(TpuStateTest, AddAllocationTracksLoadAndRefs) {
+  tpu_.addAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.3));
+  tpu_.addAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.2));
+  EXPECT_EQ(tpu_.currentLoad().milli(), 500);
+  EXPECT_EQ(tpu_.refCount(zoo::kMobileNetV1), 2);
+  EXPECT_TRUE(tpu_.hasModel(zoo::kMobileNetV1));
+  EXPECT_EQ(tpu_.liveModelCount(), 1u);
+  EXPECT_NEAR(tpu_.usedParamMb(zoo_), 4.2, 1e-9);
+}
+
+TEST_F(TpuStateTest, RemoveAllocationIsLazyForModels) {
+  tpu_.addAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.3));
+  ASSERT_TRUE(
+      tpu_.removeAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.3))
+          .isOk());
+  EXPECT_TRUE(tpu_.currentLoad().isZero());
+  // Reference dropped to zero: the model no longer counts as "in" the TPU
+  // for admission, but remains in the resident order until a purge.
+  EXPECT_FALSE(tpu_.hasModel(zoo::kMobileNetV1));
+  EXPECT_EQ(tpu_.residentOrder().size(), 1u);
+  EXPECT_DOUBLE_EQ(tpu_.usedParamMb(zoo_), 0.0);
+  tpu_.purgeDeadModels();
+  EXPECT_TRUE(tpu_.residentOrder().empty());
+}
+
+TEST_F(TpuStateTest, RemoveAllocationErrors) {
+  EXPECT_FALSE(
+      tpu_.removeAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.1))
+          .isOk());
+  tpu_.addAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.2));
+  // Releasing more load than present is rejected.
+  EXPECT_FALSE(
+      tpu_.removeAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.5))
+          .isOk());
+}
+
+TEST_F(TpuStateTest, ModelFitsRule) {
+  // 6.2 MB SSD fits an empty 6.9 MB TPU; adding 4.2 MB MobileNet then fails.
+  EXPECT_TRUE(tpu_.modelFits(zoo_, zoo_.at(zoo::kSsdMobileNetV2)));
+  tpu_.addAllocation(zoo::kSsdMobileNetV2, TpuUnit::fromDouble(0.35));
+  EXPECT_FALSE(tpu_.modelFits(zoo_, zoo_.at(zoo::kMobileNetV1)));
+  // An already-present model always "fits".
+  EXPECT_TRUE(tpu_.modelFits(zoo_, zoo_.at(zoo::kSsdMobileNetV2)));
+}
+
+TEST_F(TpuStateTest, DeadModelsFreeMemoryForAdmission) {
+  tpu_.addAllocation(zoo::kSsdMobileNetV2, TpuUnit::fromDouble(0.35));
+  ASSERT_TRUE(
+      tpu_.removeAllocation(zoo::kSsdMobileNetV2, TpuUnit::fromDouble(0.35))
+          .isOk());
+  // Zero-ref SSD still resident, but its memory counts as reclaimable.
+  EXPECT_TRUE(tpu_.modelFits(zoo_, zoo_.at(zoo::kInceptionV1)));
+}
+
+TEST_F(TpuStateTest, LiveModelsPreserveLoadOrder) {
+  tpu_.addAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.1));
+  tpu_.addAllocation(zoo::kUNetV2, TpuUnit::fromDouble(0.1));
+  tpu_.addAllocation(zoo::kMobileNetV2, TpuUnit::fromDouble(0.1));
+  auto live = tpu_.liveModels();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0], zoo::kMobileNetV1);
+  EXPECT_EQ(live[1], zoo::kUNetV2);
+  EXPECT_EQ(live[2], zoo::kMobileNetV2);
+}
+
+TEST(TpuPoolTest, AddRemoveFind) {
+  TpuPool pool;
+  EXPECT_TRUE(pool.addTpu("tpu-00", 6.9).isOk());
+  EXPECT_TRUE(pool.addTpu("tpu-01", 6.9).isOk());
+  EXPECT_EQ(pool.addTpu("tpu-00", 6.9).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(pool.addTpu("tpu-02", 0.0).isOk());
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_NE(pool.find("tpu-01"), nullptr);
+  EXPECT_EQ(pool.find("tpu-09"), nullptr);
+  EXPECT_TRUE(pool.removeTpu("tpu-01").isOk());
+  EXPECT_EQ(pool.removeTpu("tpu-01").code(), StatusCode::kNotFound);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TpuPoolTest, Aggregates) {
+  ModelRegistry zoo = zoo::standardZoo();
+  TpuPool pool;
+  ASSERT_TRUE(pool.addTpu("tpu-00", 6.9).isOk());
+  ASSERT_TRUE(pool.addTpu("tpu-01", 6.9).isOk());
+  ASSERT_TRUE(pool.addTpu("tpu-02", 6.9).isOk());
+  pool.find("tpu-00")->addAllocation(zoo::kMobileNetV1,
+                                     TpuUnit::fromDouble(0.4));
+  pool.find("tpu-02")->addAllocation(zoo::kUNetV2, TpuUnit::fromDouble(0.5));
+  EXPECT_EQ(pool.totalLoad().milli(), 900);
+  EXPECT_EQ(pool.usedTpuCount(), 2u);
+}
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,68 @@
+// TpuUnit fixed-point arithmetic: the §4.1 duty-cycle metric.
+
+#include <gtest/gtest.h>
+
+#include "core/tpu_units.hpp"
+
+namespace microedge {
+namespace {
+
+TEST(TpuUnitTest, PaperDutyCycleExample) {
+  // 30 ms service at 10 FPS (100 ms period) -> 0.3 units.
+  TpuUnit u = TpuUnit::fromDutyCycle(milliseconds(30), milliseconds(100));
+  EXPECT_EQ(u.milli(), 300);
+  EXPECT_DOUBLE_EQ(u.value(), 0.3);
+}
+
+TEST(TpuUnitTest, FromServiceAtFps) {
+  EXPECT_EQ(TpuUnit::fromServiceAtFps(millisecondsF(23.3), 15.0).milli(), 350);
+  EXPECT_EQ(TpuUnit::fromServiceAtFps(milliseconds(80), 15.0).milli(), 1200);
+  EXPECT_TRUE(TpuUnit::fromServiceAtFps(milliseconds(10), 0.0).isZero());
+}
+
+TEST(TpuUnitTest, FromDoubleRounds) {
+  EXPECT_EQ(TpuUnit::fromDouble(0.35).milli(), 350);
+  EXPECT_EQ(TpuUnit::fromDouble(0.3499).milli(), 350);
+  EXPECT_EQ(TpuUnit::fromDouble(1.2).milli(), 1200);
+}
+
+TEST(TpuUnitTest, ExactCapacityComparisons) {
+  // The motivating fixed-point case: three 0.35-unit pods must NOT fit in
+  // one TPU, two must.
+  TpuUnit pod = TpuUnit::fromDouble(0.35);
+  EXPECT_LE(pod + pod, TpuUnit::full());
+  EXPECT_GT(pod + pod + pod, TpuUnit::full());
+
+  // And 0.1 ten times must fit exactly (floating point would be ambiguous).
+  TpuUnit tenth = TpuUnit::fromDouble(0.1);
+  TpuUnit sum;
+  for (int i = 0; i < 10; ++i) sum += tenth;
+  EXPECT_EQ(sum, TpuUnit::full());
+}
+
+TEST(TpuUnitTest, Arithmetic) {
+  TpuUnit a = TpuUnit::fromMilli(400);
+  TpuUnit b = TpuUnit::fromMilli(250);
+  EXPECT_EQ((a + b).milli(), 650);
+  EXPECT_EQ((a - b).milli(), 150);
+  a -= b;
+  EXPECT_EQ(a.milli(), 150);
+  EXPECT_EQ(TpuUnit::min(a, b), a);
+  EXPECT_TRUE(TpuUnit::zero().isZero());
+  EXPECT_FALSE(TpuUnit::zero().isPositive());
+  EXPECT_TRUE(b.isPositive());
+}
+
+TEST(TpuUnitTest, Ordering) {
+  EXPECT_LT(TpuUnit::fromMilli(1), TpuUnit::fromMilli(2));
+  EXPECT_GE(TpuUnit::full(), TpuUnit::fromDouble(1.0));
+  EXPECT_NE(TpuUnit::fromMilli(1), TpuUnit::fromMilli(2));
+}
+
+TEST(TpuUnitTest, ToString) {
+  EXPECT_EQ(TpuUnit::fromDouble(0.35).toString(), "0.350");
+  EXPECT_EQ(TpuUnit::full().toString(), "1.000");
+}
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,145 @@
+// Weighted round-robin schedulers: proportionality, smoothness (the WFQ
+// spread property) and the burst variant's contrasting behaviour. Includes
+// parameterized property sweeps over weight mixes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dataplane/wrr.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+namespace {
+
+std::vector<WrrTarget> makeTargets(const std::vector<std::uint32_t>& weights) {
+  std::vector<WrrTarget> out;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    out.push_back(WrrTarget{strCat("t", i), weights[i]});
+  }
+  return out;
+}
+
+TEST(SmoothWrrTest, RejectsBadTargets) {
+  SmoothWrr wrr;
+  EXPECT_FALSE(wrr.setTargets({}).isOk());
+  EXPECT_FALSE(wrr.setTargets({WrrTarget{"", 1}}).isOk());
+  EXPECT_FALSE(wrr.setTargets({WrrTarget{"a", 0}}).isOk());
+}
+
+TEST(SmoothWrrTest, SingleTargetAlwaysPicked) {
+  SmoothWrr wrr;
+  ASSERT_TRUE(wrr.setTargets({WrrTarget{"only", 350}}).isOk());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(wrr.pick(), "only");
+}
+
+TEST(SmoothWrrTest, TwoToOneInterleavesSmoothly) {
+  // The paper's §4.3 example: 0.4 vs 0.2 units -> 66% / 33% split. Smooth
+  // WRR must not emit the heavy target more than twice in a row.
+  SmoothWrr wrr;
+  ASSERT_TRUE(wrr.setTargets({WrrTarget{"a", 400}, WrrTarget{"b", 200}}).isOk());
+  int maxRun = 0, run = 0;
+  std::string prev;
+  for (int i = 0; i < 300; ++i) {
+    std::string pick = wrr.pick();
+    run = (pick == prev) ? run + 1 : 1;
+    maxRun = std::max(maxRun, run);
+    prev = pick;
+  }
+  EXPECT_EQ(wrr.pickCount("a"), 200u);
+  EXPECT_EQ(wrr.pickCount("b"), 100u);
+  EXPECT_LE(maxRun, 2);
+}
+
+TEST(BurstWrrTest, SameProportionsWorstSpread) {
+  BurstWrr wrr;
+  ASSERT_TRUE(wrr.setTargets({WrrTarget{"a", 400}, WrrTarget{"b", 200}}).isOk());
+  // gcd reduction -> bursts of 2 and 1.
+  std::vector<std::string> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(wrr.pick());
+  EXPECT_EQ(picks,
+            (std::vector<std::string>{"a", "a", "b", "a", "a", "b"}));
+}
+
+// Property sweep: exact proportionality over one full period, and the
+// smoothness bound (over any window of n picks, each target is picked
+// within +-1 of its proportional share).
+class WrrPropertyTest
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(WrrPropertyTest, ExactProportionsOverOnePeriod) {
+  SmoothWrr wrr;
+  ASSERT_TRUE(wrr.setTargets(makeTargets(GetParam())).isOk());
+  std::uint64_t period = wrr.totalWeight();
+  std::map<std::string, std::uint64_t> counts;
+  for (std::uint64_t i = 0; i < period; ++i) counts[wrr.pick()]++;
+  for (std::size_t i = 0; i < wrr.targets().size(); ++i) {
+    EXPECT_EQ(counts[wrr.targets()[i].id], wrr.targets()[i].weight)
+        << "target " << i;
+  }
+}
+
+TEST_P(WrrPropertyTest, SmoothnessBoundOverSlidingWindows) {
+  SmoothWrr wrr;
+  ASSERT_TRUE(wrr.setTargets(makeTargets(GetParam())).isOk());
+  std::uint64_t period = wrr.totalWeight();
+  std::vector<std::string> picks;
+  for (std::uint64_t i = 0; i < period * 3; ++i) picks.push_back(wrr.pick());
+
+  // For each target and each window of length w, the count must stay within
+  // +-1 of w * weight / total (smooth WRR's defining spread property).
+  for (const WrrTarget& target : wrr.targets()) {
+    double share =
+        static_cast<double>(target.weight) / static_cast<double>(period);
+    for (std::size_t w : {period / 2 + 1, period}) {
+      if (w == 0 || w > picks.size()) continue;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < w; ++i) {
+        if (picks[i] == target.id) ++count;
+      }
+      for (std::size_t start = 0;; ++start) {
+        double expected = share * static_cast<double>(w);
+        // Prefix deviation of smooth WRR is < 1; a sliding window is the
+        // difference of two prefixes, so its deviation stays < 2.
+        EXPECT_LE(std::abs(static_cast<double>(count) - expected), 2.0)
+            << "target " << target.id << " window [" << start << ", "
+            << start + w << ")";
+        if (start + w >= picks.size()) break;
+        count -= picks[start] == target.id ? 1 : 0;
+        count += picks[start + w] == target.id ? 1 : 0;
+      }
+    }
+  }
+}
+
+TEST_P(WrrPropertyTest, BurstMatchesProportionsOverOnePeriod) {
+  BurstWrr wrr;
+  auto targets = makeTargets(GetParam());
+  ASSERT_TRUE(wrr.setTargets(targets).isOk());
+  std::uint64_t total = 0;
+  std::uint32_t g = 0;
+  for (auto& t : targets) g = std::gcd(g, t.weight);
+  for (auto& t : targets) total += t.weight / g;
+  std::map<std::string, std::uint64_t> counts;
+  for (std::uint64_t i = 0; i < total; ++i) counts[wrr.pick()]++;
+  for (auto& t : targets) {
+    EXPECT_EQ(counts[t.id], t.weight / g) << t.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightMixes, WrrPropertyTest,
+    ::testing::Values(std::vector<std::uint32_t>{1, 1},
+                      std::vector<std::uint32_t>{400, 200},
+                      std::vector<std::uint32_t>{350, 350, 300},
+                      std::vector<std::uint32_t>{5, 1},
+                      std::vector<std::uint32_t>{7, 3, 2},
+                      std::vector<std::uint32_t>{650, 350},
+                      std::vector<std::uint32_t>{1000, 200, 150, 100}));
+
+}  // namespace
+}  // namespace microedge

@@ -1,0 +1,203 @@
+// YAML-subset parser tests: the accepted grammar, error handling and scalar
+// coercions.
+
+#include <gtest/gtest.h>
+
+#include "orch/yaml.hpp"
+#include "util/rng.hpp"
+
+namespace microedge {
+namespace {
+
+TEST(YamlTest, FlatMapping) {
+  auto doc = parseYaml("name: cam-1\nimage: app:1.0\n");
+  ASSERT_TRUE(doc.isOk());
+  ASSERT_TRUE(doc->isMapping());
+  EXPECT_EQ(doc->find("name")->scalar(), "cam-1");
+  EXPECT_EQ(doc->find("image")->scalar(), "app:1.0");
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(YamlTest, NestedMapping) {
+  auto doc = parseYaml(
+      "resources:\n"
+      "  cpu: 500m\n"
+      "  memory: 256Mi\n"
+      "fps: 15\n");
+  ASSERT_TRUE(doc.isOk());
+  const YamlNode* res = doc->find("resources");
+  ASSERT_NE(res, nullptr);
+  ASSERT_TRUE(res->isMapping());
+  EXPECT_EQ(res->find("cpu")->scalar(), "500m");
+  EXPECT_EQ(doc->find("fps")->scalar(), "15");
+}
+
+TEST(YamlTest, DeepNesting) {
+  auto doc = parseYaml(
+      "a:\n"
+      "  b:\n"
+      "    c: deep\n"
+      "  d: shallow\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_EQ(doc->find("a")->find("b")->find("c")->scalar(), "deep");
+  EXPECT_EQ(doc->find("a")->find("d")->scalar(), "shallow");
+}
+
+TEST(YamlTest, Sequences) {
+  auto doc = parseYaml(
+      "models:\n"
+      "  - ssd-mobilenet-v2\n"
+      "  - mobilenet-v1\n");
+  ASSERT_TRUE(doc.isOk());
+  const YamlNode* models = doc->find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_TRUE(models->isSequence());
+  ASSERT_EQ(models->items().size(), 2u);
+  EXPECT_EQ(models->items()[0].scalar(), "ssd-mobilenet-v2");
+}
+
+TEST(YamlTest, SequenceOfMappings) {
+  auto doc = parseYaml(
+      "pods:\n"
+      "  - name: a\n"
+      "    fps: 15\n"
+      "  - name: b\n"
+      "    fps: 10\n");
+  ASSERT_TRUE(doc.isOk());
+  const YamlNode* pods = doc->find("pods");
+  ASSERT_TRUE(pods->isSequence());
+  ASSERT_EQ(pods->items().size(), 2u);
+  EXPECT_EQ(pods->items()[0].find("name")->scalar(), "a");
+  EXPECT_EQ(pods->items()[1].find("fps")->scalar(), "10");
+}
+
+TEST(YamlTest, CommentsAndBlankLines) {
+  auto doc = parseYaml(
+      "# full-line comment\n"
+      "\n"
+      "name: cam-1  # trailing comment\n"
+      "image: \"app # not a comment\"\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_EQ(doc->find("name")->scalar(), "cam-1");
+  EXPECT_EQ(doc->find("image")->scalar(), "app # not a comment");
+}
+
+TEST(YamlTest, QuotedScalars) {
+  auto doc = parseYaml("a: 'single'\nb: \"double\"\nc: plain\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_EQ(doc->find("a")->scalar(), "single");
+  EXPECT_EQ(doc->find("b")->scalar(), "double");
+  EXPECT_EQ(doc->find("c")->scalar(), "plain");
+}
+
+TEST(YamlTest, EmptyDocumentIsNull) {
+  auto doc = parseYaml("\n# nothing here\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_TRUE(doc->isNull());
+}
+
+TEST(YamlTest, NullValueForKeyWithoutChildren) {
+  auto doc = parseYaml("a:\nb: 1\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_TRUE(doc->find("a")->isNull());
+}
+
+TEST(YamlTest, ScalarCoercions) {
+  auto doc = parseYaml("d: 0.35\ni: 42\nt: true\nf: off\nbad: abc\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_NEAR(*doc->find("d")->asDouble(), 0.35, 1e-12);
+  EXPECT_EQ(*doc->find("i")->asLong(), 42);
+  EXPECT_TRUE(*doc->find("t")->asBool());
+  EXPECT_FALSE(*doc->find("f")->asBool());
+  EXPECT_FALSE(doc->find("bad")->asDouble().isOk());
+  EXPECT_FALSE(doc->find("bad")->asBool().isOk());
+}
+
+TEST(YamlTest, RejectsTabs) {
+  auto doc = parseYaml("a:\n\tb: 1\n");
+  EXPECT_FALSE(doc.isOk());
+}
+
+TEST(YamlTest, RejectsDuplicateKeys) {
+  auto doc = parseYaml("a: 1\na: 2\n");
+  EXPECT_FALSE(doc.isOk());
+  EXPECT_NE(doc.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(YamlTest, RejectsBareText) {
+  EXPECT_FALSE(parseYaml("just some text\n").isOk());
+}
+
+TEST(YamlTest, ErrorMessagesCarryLineNumbers) {
+  auto doc = parseYaml("a: 1\nb: 2\nb: 3\n");
+  ASSERT_FALSE(doc.isOk());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(YamlTest, ColonInsideQuotedValueIsNotAKey) {
+  auto doc = parseYaml("image: \"repo:tag\"\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_EQ(doc->find("image")->scalar(), "repo:tag");
+}
+
+TEST(YamlTest, FuzzedInputsNeverCrash) {
+  // Random mutations of a valid document: the parser must always return (a
+  // document or a clean error), never crash or hang.
+  const std::string base =
+      "name: cam-1\n"
+      "resources:\n"
+      "  cpu: 500m\n"
+      "  memory: 256Mi\n"
+      "  tpu-units: 0.35\n"
+      "  model: ssd-mobilenet-v2\n"
+      "labels:\n"
+      "  app: camera\n"
+      "pods:\n"
+      "  - a\n"
+      "  - b: 1\n";
+  Pcg32 rng(20260704);
+  const std::string charset = " \t\n:-#\"'abz019.";
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string doc = base;
+    int mutations = 1 + static_cast<int>(rng.nextBounded(6));
+    for (int m = 0; m < mutations; ++m) {
+      if (doc.empty()) break;
+      std::size_t pos = rng.nextBounded(static_cast<std::uint32_t>(doc.size()));
+      switch (rng.nextBounded(3)) {
+        case 0:  // replace
+          doc[pos] = charset[rng.nextBounded(
+              static_cast<std::uint32_t>(charset.size()))];
+          break;
+        case 1:  // insert
+          doc.insert(doc.begin() + static_cast<std::ptrdiff_t>(pos),
+                     charset[rng.nextBounded(
+                         static_cast<std::uint32_t>(charset.size()))]);
+          break;
+        default:  // delete
+          doc.erase(doc.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;
+      }
+    }
+    auto result = parseYaml(doc);
+    result.isOk() ? ++parsed : ++rejected;
+    if (!result.isOk()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // Both outcomes should occur across 600 mutated documents.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(YamlTest, KeysKeepDocumentOrder) {
+  auto doc = parseYaml("z: 1\na: 2\nm: 3\n");
+  ASSERT_TRUE(doc.isOk());
+  ASSERT_EQ(doc->entries().size(), 3u);
+  EXPECT_EQ(doc->entries()[0].first, "z");
+  EXPECT_EQ(doc->entries()[1].first, "a");
+  EXPECT_EQ(doc->entries()[2].first, "m");
+}
+
+}  // namespace
+}  // namespace microedge
