@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lbs"
+  "../bench/bench_ablation_lbs.pdb"
+  "CMakeFiles/bench_ablation_lbs.dir/bench_ablation_lbs.cpp.o"
+  "CMakeFiles/bench_ablation_lbs.dir/bench_ablation_lbs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

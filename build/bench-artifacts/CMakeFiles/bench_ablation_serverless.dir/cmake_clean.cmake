@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_serverless"
+  "../bench/bench_ablation_serverless.pdb"
+  "CMakeFiles/bench_ablation_serverless.dir/bench_ablation_serverless.cpp.o"
+  "CMakeFiles/bench_ablation_serverless.dir/bench_ablation_serverless.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

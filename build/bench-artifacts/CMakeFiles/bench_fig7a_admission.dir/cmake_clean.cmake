@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7a_admission"
+  "../bench/bench_fig7a_admission.pdb"
+  "CMakeFiles/bench_fig7a_admission.dir/bench_fig7a_admission.cpp.o"
+  "CMakeFiles/bench_fig7a_admission.dir/bench_fig7a_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_scheduler"
+  "../bench/bench_micro_scheduler.pdb"
+  "CMakeFiles/bench_micro_scheduler.dir/bench_micro_scheduler.cpp.o"
+  "CMakeFiles/bench_micro_scheduler.dir/bench_micro_scheduler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

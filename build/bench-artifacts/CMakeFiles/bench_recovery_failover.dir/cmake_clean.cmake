@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_recovery_failover"
+  "../bench/bench_recovery_failover.pdb"
+  "CMakeFiles/bench_recovery_failover.dir/bench_recovery_failover.cpp.o"
+  "CMakeFiles/bench_recovery_failover.dir/bench_recovery_failover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

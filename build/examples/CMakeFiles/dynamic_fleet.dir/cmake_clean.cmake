@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_fleet.dir/dynamic_fleet.cpp.o"
+  "CMakeFiles/dynamic_fleet.dir/dynamic_fleet.cpp.o.d"
+  "dynamic_fleet"
+  "dynamic_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/person_segmentation.dir/person_segmentation.cpp.o"
+  "CMakeFiles/person_segmentation.dir/person_segmentation.cpp.o.d"
+  "person_segmentation"
+  "person_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/person_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bodypix.cpp" "src/CMakeFiles/me_apps.dir/apps/bodypix.cpp.o" "gcc" "src/CMakeFiles/me_apps.dir/apps/bodypix.cpp.o.d"
+  "/root/repo/src/apps/camera.cpp" "src/CMakeFiles/me_apps.dir/apps/camera.cpp.o" "gcc" "src/CMakeFiles/me_apps.dir/apps/camera.cpp.o.d"
+  "/root/repo/src/apps/cascade.cpp" "src/CMakeFiles/me_apps.dir/apps/cascade.cpp.o" "gcc" "src/CMakeFiles/me_apps.dir/apps/cascade.cpp.o.d"
+  "/root/repo/src/apps/coral_pie.cpp" "src/CMakeFiles/me_apps.dir/apps/coral_pie.cpp.o" "gcc" "src/CMakeFiles/me_apps.dir/apps/coral_pie.cpp.o.d"
+  "/root/repo/src/apps/diff_detector.cpp" "src/CMakeFiles/me_apps.dir/apps/diff_detector.cpp.o" "gcc" "src/CMakeFiles/me_apps.dir/apps/diff_detector.cpp.o.d"
+  "/root/repo/src/apps/pipeline.cpp" "src/CMakeFiles/me_apps.dir/apps/pipeline.cpp.o" "gcc" "src/CMakeFiles/me_apps.dir/apps/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_apps.dir/apps/bodypix.cpp.o"
+  "CMakeFiles/me_apps.dir/apps/bodypix.cpp.o.d"
+  "CMakeFiles/me_apps.dir/apps/camera.cpp.o"
+  "CMakeFiles/me_apps.dir/apps/camera.cpp.o.d"
+  "CMakeFiles/me_apps.dir/apps/cascade.cpp.o"
+  "CMakeFiles/me_apps.dir/apps/cascade.cpp.o.d"
+  "CMakeFiles/me_apps.dir/apps/coral_pie.cpp.o"
+  "CMakeFiles/me_apps.dir/apps/coral_pie.cpp.o.d"
+  "CMakeFiles/me_apps.dir/apps/diff_detector.cpp.o"
+  "CMakeFiles/me_apps.dir/apps/diff_detector.cpp.o.d"
+  "CMakeFiles/me_apps.dir/apps/pipeline.cpp.o"
+  "CMakeFiles/me_apps.dir/apps/pipeline.cpp.o.d"
+  "libme_apps.a"
+  "libme_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

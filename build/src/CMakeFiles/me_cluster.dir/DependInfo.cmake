@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost.cpp" "src/CMakeFiles/me_cluster.dir/cluster/cost.cpp.o" "gcc" "src/CMakeFiles/me_cluster.dir/cluster/cost.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/CMakeFiles/me_cluster.dir/cluster/network.cpp.o" "gcc" "src/CMakeFiles/me_cluster.dir/cluster/network.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/me_cluster.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/me_cluster.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/me_cluster.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/me_cluster.dir/cluster/topology.cpp.o.d"
+  "/root/repo/src/cluster/tpu_device.cpp" "src/CMakeFiles/me_cluster.dir/cluster/tpu_device.cpp.o" "gcc" "src/CMakeFiles/me_cluster.dir/cluster/tpu_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

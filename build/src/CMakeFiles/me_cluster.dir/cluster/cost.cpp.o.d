@@ -1,0 +1,3 @@
+src/CMakeFiles/me_cluster.dir/cluster/cost.cpp.o: \
+ /root/repo/src/cluster/cost.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/cluster/cost.hpp

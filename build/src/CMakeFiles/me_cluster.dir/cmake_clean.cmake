@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_cluster.dir/cluster/cost.cpp.o"
+  "CMakeFiles/me_cluster.dir/cluster/cost.cpp.o.d"
+  "CMakeFiles/me_cluster.dir/cluster/network.cpp.o"
+  "CMakeFiles/me_cluster.dir/cluster/network.cpp.o.d"
+  "CMakeFiles/me_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/me_cluster.dir/cluster/node.cpp.o.d"
+  "CMakeFiles/me_cluster.dir/cluster/topology.cpp.o"
+  "CMakeFiles/me_cluster.dir/cluster/topology.cpp.o.d"
+  "CMakeFiles/me_cluster.dir/cluster/tpu_device.cpp.o"
+  "CMakeFiles/me_cluster.dir/cluster/tpu_device.cpp.o.d"
+  "libme_cluster.a"
+  "libme_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/CMakeFiles/me_core.dir/core/admission.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/admission.cpp.o.d"
+  "/root/repo/src/core/cocompiler.cpp" "src/CMakeFiles/me_core.dir/core/cocompiler.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/cocompiler.cpp.o.d"
+  "/root/repo/src/core/dedicated_allocator.cpp" "src/CMakeFiles/me_core.dir/core/dedicated_allocator.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/dedicated_allocator.cpp.o.d"
+  "/root/repo/src/core/defragmenter.cpp" "src/CMakeFiles/me_core.dir/core/defragmenter.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/defragmenter.cpp.o.d"
+  "/root/repo/src/core/extended_scheduler.cpp" "src/CMakeFiles/me_core.dir/core/extended_scheduler.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/extended_scheduler.cpp.o.d"
+  "/root/repo/src/core/failure_recovery.cpp" "src/CMakeFiles/me_core.dir/core/failure_recovery.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/failure_recovery.cpp.o.d"
+  "/root/repo/src/core/packing_strategy.cpp" "src/CMakeFiles/me_core.dir/core/packing_strategy.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/packing_strategy.cpp.o.d"
+  "/root/repo/src/core/reclamation.cpp" "src/CMakeFiles/me_core.dir/core/reclamation.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/reclamation.cpp.o.d"
+  "/root/repo/src/core/tpu_state.cpp" "src/CMakeFiles/me_core.dir/core/tpu_state.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/tpu_state.cpp.o.d"
+  "/root/repo/src/core/tpu_units.cpp" "src/CMakeFiles/me_core.dir/core/tpu_units.cpp.o" "gcc" "src/CMakeFiles/me_core.dir/core/tpu_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_core.dir/core/admission.cpp.o"
+  "CMakeFiles/me_core.dir/core/admission.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/cocompiler.cpp.o"
+  "CMakeFiles/me_core.dir/core/cocompiler.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/dedicated_allocator.cpp.o"
+  "CMakeFiles/me_core.dir/core/dedicated_allocator.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/defragmenter.cpp.o"
+  "CMakeFiles/me_core.dir/core/defragmenter.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/extended_scheduler.cpp.o"
+  "CMakeFiles/me_core.dir/core/extended_scheduler.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/failure_recovery.cpp.o"
+  "CMakeFiles/me_core.dir/core/failure_recovery.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/packing_strategy.cpp.o"
+  "CMakeFiles/me_core.dir/core/packing_strategy.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/reclamation.cpp.o"
+  "CMakeFiles/me_core.dir/core/reclamation.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/tpu_state.cpp.o"
+  "CMakeFiles/me_core.dir/core/tpu_state.cpp.o.d"
+  "CMakeFiles/me_core.dir/core/tpu_units.cpp.o"
+  "CMakeFiles/me_core.dir/core/tpu_units.cpp.o.d"
+  "libme_core.a"
+  "libme_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/dataplane.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/dataplane.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/dataplane.cpp.o.d"
+  "/root/repo/src/dataplane/inproc_runtime.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/inproc_runtime.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/inproc_runtime.cpp.o.d"
+  "/root/repo/src/dataplane/lb_service.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/lb_service.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/lb_service.cpp.o.d"
+  "/root/repo/src/dataplane/tpu_client.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/tpu_client.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/tpu_client.cpp.o.d"
+  "/root/repo/src/dataplane/tpu_service.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/tpu_service.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/tpu_service.cpp.o.d"
+  "/root/repo/src/dataplane/transport.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/transport.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/transport.cpp.o.d"
+  "/root/repo/src/dataplane/wrr.cpp" "src/CMakeFiles/me_dataplane.dir/dataplane/wrr.cpp.o" "gcc" "src/CMakeFiles/me_dataplane.dir/dataplane/wrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

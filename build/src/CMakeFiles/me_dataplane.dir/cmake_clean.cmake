@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_dataplane.dir/dataplane/dataplane.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/dataplane.cpp.o.d"
+  "CMakeFiles/me_dataplane.dir/dataplane/inproc_runtime.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/inproc_runtime.cpp.o.d"
+  "CMakeFiles/me_dataplane.dir/dataplane/lb_service.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/lb_service.cpp.o.d"
+  "CMakeFiles/me_dataplane.dir/dataplane/tpu_client.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/tpu_client.cpp.o.d"
+  "CMakeFiles/me_dataplane.dir/dataplane/tpu_service.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/tpu_service.cpp.o.d"
+  "CMakeFiles/me_dataplane.dir/dataplane/transport.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/transport.cpp.o.d"
+  "CMakeFiles/me_dataplane.dir/dataplane/wrr.cpp.o"
+  "CMakeFiles/me_dataplane.dir/dataplane/wrr.cpp.o.d"
+  "libme_dataplane.a"
+  "libme_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/breakdown.cpp" "src/CMakeFiles/me_metrics.dir/metrics/breakdown.cpp.o" "gcc" "src/CMakeFiles/me_metrics.dir/metrics/breakdown.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/me_metrics.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/me_metrics.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/slo.cpp" "src/CMakeFiles/me_metrics.dir/metrics/slo.cpp.o" "gcc" "src/CMakeFiles/me_metrics.dir/metrics/slo.cpp.o.d"
+  "/root/repo/src/metrics/utilization.cpp" "src/CMakeFiles/me_metrics.dir/metrics/utilization.cpp.o" "gcc" "src/CMakeFiles/me_metrics.dir/metrics/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

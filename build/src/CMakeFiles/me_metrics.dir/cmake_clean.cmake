@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_metrics.dir/metrics/breakdown.cpp.o"
+  "CMakeFiles/me_metrics.dir/metrics/breakdown.cpp.o.d"
+  "CMakeFiles/me_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/me_metrics.dir/metrics/report.cpp.o.d"
+  "CMakeFiles/me_metrics.dir/metrics/slo.cpp.o"
+  "CMakeFiles/me_metrics.dir/metrics/slo.cpp.o.d"
+  "CMakeFiles/me_metrics.dir/metrics/utilization.cpp.o"
+  "CMakeFiles/me_metrics.dir/metrics/utilization.cpp.o.d"
+  "libme_metrics.a"
+  "libme_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/model.cpp" "src/CMakeFiles/me_models.dir/models/model.cpp.o" "gcc" "src/CMakeFiles/me_models.dir/models/model.cpp.o.d"
+  "/root/repo/src/models/registry.cpp" "src/CMakeFiles/me_models.dir/models/registry.cpp.o" "gcc" "src/CMakeFiles/me_models.dir/models/registry.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/CMakeFiles/me_models.dir/models/zoo.cpp.o" "gcc" "src/CMakeFiles/me_models.dir/models/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_models.dir/models/model.cpp.o"
+  "CMakeFiles/me_models.dir/models/model.cpp.o.d"
+  "CMakeFiles/me_models.dir/models/registry.cpp.o"
+  "CMakeFiles/me_models.dir/models/registry.cpp.o.d"
+  "CMakeFiles/me_models.dir/models/zoo.cpp.o"
+  "CMakeFiles/me_models.dir/models/zoo.cpp.o.d"
+  "libme_models.a"
+  "libme_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orch/api_server.cpp" "src/CMakeFiles/me_orch.dir/orch/api_server.cpp.o" "gcc" "src/CMakeFiles/me_orch.dir/orch/api_server.cpp.o.d"
+  "/root/repo/src/orch/default_scheduler.cpp" "src/CMakeFiles/me_orch.dir/orch/default_scheduler.cpp.o" "gcc" "src/CMakeFiles/me_orch.dir/orch/default_scheduler.cpp.o.d"
+  "/root/repo/src/orch/node_registry.cpp" "src/CMakeFiles/me_orch.dir/orch/node_registry.cpp.o" "gcc" "src/CMakeFiles/me_orch.dir/orch/node_registry.cpp.o.d"
+  "/root/repo/src/orch/pod.cpp" "src/CMakeFiles/me_orch.dir/orch/pod.cpp.o" "gcc" "src/CMakeFiles/me_orch.dir/orch/pod.cpp.o.d"
+  "/root/repo/src/orch/spec.cpp" "src/CMakeFiles/me_orch.dir/orch/spec.cpp.o" "gcc" "src/CMakeFiles/me_orch.dir/orch/spec.cpp.o.d"
+  "/root/repo/src/orch/yaml.cpp" "src/CMakeFiles/me_orch.dir/orch/yaml.cpp.o" "gcc" "src/CMakeFiles/me_orch.dir/orch/yaml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

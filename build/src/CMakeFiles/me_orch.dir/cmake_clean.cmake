@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_orch.dir/orch/api_server.cpp.o"
+  "CMakeFiles/me_orch.dir/orch/api_server.cpp.o.d"
+  "CMakeFiles/me_orch.dir/orch/default_scheduler.cpp.o"
+  "CMakeFiles/me_orch.dir/orch/default_scheduler.cpp.o.d"
+  "CMakeFiles/me_orch.dir/orch/node_registry.cpp.o"
+  "CMakeFiles/me_orch.dir/orch/node_registry.cpp.o.d"
+  "CMakeFiles/me_orch.dir/orch/pod.cpp.o"
+  "CMakeFiles/me_orch.dir/orch/pod.cpp.o.d"
+  "CMakeFiles/me_orch.dir/orch/spec.cpp.o"
+  "CMakeFiles/me_orch.dir/orch/spec.cpp.o.d"
+  "CMakeFiles/me_orch.dir/orch/yaml.cpp.o"
+  "CMakeFiles/me_orch.dir/orch/yaml.cpp.o.d"
+  "libme_orch.a"
+  "libme_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/me_sim.dir/sim/simulator.cpp.o.d"
+  "libme_sim.a"
+  "libme_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

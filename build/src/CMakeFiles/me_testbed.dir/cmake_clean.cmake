@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_testbed.dir/testbed/planner.cpp.o"
+  "CMakeFiles/me_testbed.dir/testbed/planner.cpp.o.d"
+  "CMakeFiles/me_testbed.dir/testbed/scenarios.cpp.o"
+  "CMakeFiles/me_testbed.dir/testbed/scenarios.cpp.o.d"
+  "CMakeFiles/me_testbed.dir/testbed/serverless_baseline.cpp.o"
+  "CMakeFiles/me_testbed.dir/testbed/serverless_baseline.cpp.o.d"
+  "CMakeFiles/me_testbed.dir/testbed/testbed.cpp.o"
+  "CMakeFiles/me_testbed.dir/testbed/testbed.cpp.o.d"
+  "libme_testbed.a"
+  "libme_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

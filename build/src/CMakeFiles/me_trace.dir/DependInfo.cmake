@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/maf.cpp" "src/CMakeFiles/me_trace.dir/trace/maf.cpp.o" "gcc" "src/CMakeFiles/me_trace.dir/trace/maf.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/CMakeFiles/me_trace.dir/trace/replay.cpp.o" "gcc" "src/CMakeFiles/me_trace.dir/trace/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

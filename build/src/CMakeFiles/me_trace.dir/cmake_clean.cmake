@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_trace.dir/trace/maf.cpp.o"
+  "CMakeFiles/me_trace.dir/trace/maf.cpp.o.d"
+  "CMakeFiles/me_trace.dir/trace/replay.cpp.o"
+  "CMakeFiles/me_trace.dir/trace/replay.cpp.o.d"
+  "libme_trace.a"
+  "libme_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

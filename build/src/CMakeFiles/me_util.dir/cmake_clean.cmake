@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/me_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/me_util.dir/util/logging.cpp.o"
+  "CMakeFiles/me_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/me_util.dir/util/status.cpp.o"
+  "CMakeFiles/me_util.dir/util/status.cpp.o.d"
+  "CMakeFiles/me_util.dir/util/strings.cpp.o"
+  "CMakeFiles/me_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/me_util.dir/util/time.cpp.o"
+  "CMakeFiles/me_util.dir/util/time.cpp.o.d"
+  "libme_util.a"
+  "libme_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

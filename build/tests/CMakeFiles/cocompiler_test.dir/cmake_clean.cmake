@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocompiler_test.dir/cocompiler_test.cpp.o"
+  "CMakeFiles/cocompiler_test.dir/cocompiler_test.cpp.o.d"
+  "cocompiler_test"
+  "cocompiler_test.pdb"
+  "cocompiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocompiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

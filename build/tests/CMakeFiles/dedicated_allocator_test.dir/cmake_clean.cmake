@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedicated_allocator_test.dir/dedicated_allocator_test.cpp.o"
+  "CMakeFiles/dedicated_allocator_test.dir/dedicated_allocator_test.cpp.o.d"
+  "dedicated_allocator_test"
+  "dedicated_allocator_test.pdb"
+  "dedicated_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedicated_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defragmenter_test.dir/defragmenter_test.cpp.o"
+  "CMakeFiles/defragmenter_test.dir/defragmenter_test.cpp.o.d"
+  "defragmenter_test"
+  "defragmenter_test.pdb"
+  "defragmenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defragmenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_scheduler_test.dir/extended_scheduler_test.cpp.o"
+  "CMakeFiles/extended_scheduler_test.dir/extended_scheduler_test.cpp.o.d"
+  "extended_scheduler_test"
+  "extended_scheduler_test.pdb"
+  "extended_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_recovery_test.dir/failure_recovery_test.cpp.o"
+  "CMakeFiles/failure_recovery_test.dir/failure_recovery_test.cpp.o.d"
+  "failure_recovery_test"
+  "failure_recovery_test.pdb"
+  "failure_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

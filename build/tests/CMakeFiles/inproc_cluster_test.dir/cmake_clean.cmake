@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inproc_cluster_test.dir/inproc_cluster_test.cpp.o"
+  "CMakeFiles/inproc_cluster_test.dir/inproc_cluster_test.cpp.o.d"
+  "inproc_cluster_test"
+  "inproc_cluster_test.pdb"
+  "inproc_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inproc_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

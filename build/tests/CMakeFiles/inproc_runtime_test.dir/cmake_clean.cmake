@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inproc_runtime_test.dir/inproc_runtime_test.cpp.o"
+  "CMakeFiles/inproc_runtime_test.dir/inproc_runtime_test.cpp.o.d"
+  "inproc_runtime_test"
+  "inproc_runtime_test.pdb"
+  "inproc_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inproc_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orch_test.dir/orch_test.cpp.o"
+  "CMakeFiles/orch_test.dir/orch_test.cpp.o.d"
+  "orch_test"
+  "orch_test.pdb"
+  "orch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclamation_test.dir/reclamation_test.cpp.o"
+  "CMakeFiles/reclamation_test.dir/reclamation_test.cpp.o.d"
+  "reclamation_test"
+  "reclamation_test.pdb"
+  "reclamation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclamation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

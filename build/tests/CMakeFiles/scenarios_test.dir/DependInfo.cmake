@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenarios_test.cpp" "tests/CMakeFiles/scenarios_test.dir/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/scenarios_test.dir/scenarios_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/me_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/me_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpu_units_test.dir/tpu_units_test.cpp.o"
+  "CMakeFiles/tpu_units_test.dir/tpu_units_test.cpp.o.d"
+  "tpu_units_test"
+  "tpu_units_test.pdb"
+  "tpu_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpu_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrr_test.dir/wrr_test.cpp.o"
+  "CMakeFiles/wrr_test.dir/wrr_test.cpp.o.d"
+  "wrr_test"
+  "wrr_test.pdb"
+  "wrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
