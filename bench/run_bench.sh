@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the event-engine microbenchmarks and emits machine-readable results.
+#
+# Usage: bench/run_bench.sh [output.json]
+#   BUILD_DIR=build   build tree containing bench/bench_micro_sim
+#   REPS=1            benchmark repetitions
+#
+# The JSON lands at BENCH_sim.json by default so the perf trajectory of the
+# event engine is tracked in-repo from PR to PR.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_sim.json}"
+REPS="${REPS:-1}"
+BIN="${BUILD_DIR}/bench/bench_micro_sim"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_out_format=json \
+  --benchmark_out="${OUT}"
+
+echo "wrote ${OUT}"

@@ -181,12 +181,21 @@ void TpuDevice::startNext() {
   stats.serviceTime = service;
   stats.finishTime = currentEnd_;
 
-  sim_.schedule(currentEnd_, [this, stats, done = std::move(job.done)] {
-    busy_ = false;
-    completedBusy_ += stats.serviceTime;
-    if (done) done(stats);
-    startNext();
-  });
+  currentStats_ = stats;
+  currentDone_ = std::move(job.done);
+  sim_.schedule(currentEnd_, [this] { onCurrentComplete(); });
+}
+
+void TpuDevice::onCurrentComplete() {
+  busy_ = false;
+  completedBusy_ += currentStats_.serviceTime;
+  // Detach the in-flight state before invoking: the callback may re-enter
+  // invoke()/startNext() and install the next request.
+  const InvokeStats stats = currentStats_;
+  InvokeCallback done = std::move(currentDone_);
+  currentDone_ = nullptr;
+  if (done) done(stats);
+  startNext();
 }
 
 }  // namespace microedge

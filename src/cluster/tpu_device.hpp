@@ -104,6 +104,7 @@ class TpuDevice {
   };
 
   void startNext();
+  void onCurrentComplete();
   SimDuration computeServiceTime(const std::string& model, bool* paidSwap,
                                  bool* paidResidentSwitch);
   SimDuration streamingPenalty(const std::string& model) const;
@@ -121,6 +122,11 @@ class TpuDevice {
   bool busy_ = false;
   SimTime currentStart_{};
   SimTime currentEnd_{};
+  // In-flight request state. The device is serial run-to-completion, so at
+  // most one completion is outstanding; keeping it here lets the completion
+  // event capture only `this` (inline in the event slot, no allocation).
+  InvokeStats currentStats_{};
+  InvokeCallback currentDone_;
 
   // Resident composite, priority order, with per-model cached fraction.
   std::vector<std::string> resident_;

@@ -8,6 +8,18 @@
 
 namespace microedge {
 
+// One heap allocation per frame carries the whole pipeline: the breakdown
+// being filled in, the model info (resolved once, never re-copied), the
+// routing decision and the user completion. Stage closures capture only
+// {this, shared_ptr} (24 bytes) and so ride inline in their event slots.
+struct TpuClient::InvokeContext {
+  FrameBreakdown breakdown;
+  ModelInfo info;
+  CompletionCallback done;
+  TpuService* service = nullptr;
+  std::string serviceNode;
+};
+
 TpuClient::TpuClient(Simulator& sim, const ModelRegistry& registry,
                      SimTransport& transport, Directory directory,
                      Config config)
@@ -22,78 +34,78 @@ Status TpuClient::invoke(CompletionCallback done) {
   }
   auto model = registry_.find(config_.model);
   if (!model.isOk()) return model.status();
-  const ModelInfo info = std::move(model).value();
 
-  auto b = std::make_shared<FrameBreakdown>();
-  b->frameId = nextFrameId_++;
-  b->submitted = sim_.now();
-  b->preprocess = info.preprocessLatency;
+  auto ctx = std::make_shared<InvokeContext>();
+  ctx->info = std::move(model).value();
+  ctx->done = std::move(done);
+  ctx->breakdown.frameId = nextFrameId_++;
+  ctx->breakdown.submitted = sim_.now();
+  ctx->breakdown.preprocess = ctx->info.preprocessLatency;
   ++submitted_;
 
-  // Shared continuation state keeps the callback chain readable.
-  auto onPostprocessDone = [this, b](CompletionCallback cb) {
-    b->completed = sim_.now();
-    ++completed_;
-    if (cb) cb(*b);
-  };
-
-  // Stage 1: client-side resize to the model's input resolution.
-  sim_.scheduleAfter(
-      info.preprocessLatency,
-      [this, b, info, done = std::move(done), onPostprocessDone]() mutable {
-        // Stage 2: route via the pod's LBS and transmit the frame. If the
-        // chosen TPU Service stopped answering (tRPi died between the
-        // failure and the recovery reconfiguring our weights), fail over to
-        // the pod's other shares before dropping the frame.
-        TpuService* service = nullptr;
-        std::string target;
-        std::size_t attempts =
-            std::max<std::size_t>(1, lb_.config().weights.size());
-        for (std::size_t i = 0; i < attempts && service == nullptr; ++i) {
-          target = lb_.route();
-          service = directory_(target);
-        }
-        if (service == nullptr) {
-          ++failed_;
-          ME_LOG(kWarning) << "no reachable TPU service for "
-                           << config_.model << "; frame dropped";
-          return;
-        }
-        b->servedBy = target;
-        const std::string serviceNode = service->node();
-        b->requestTransmit = transport_.send(
-            config_.clientNode, serviceNode, info.inputBytes(),
-            [this, b, info, service, serviceNode, done = std::move(done),
-             onPostprocessDone]() mutable {
-              // Stage 3: inference on the (serial, run-to-completion) TPU.
-              Status s = service->invoke(
-                  info.name,
-                  [this, b, info, serviceNode, done = std::move(done),
-                   onPostprocessDone](const TpuDevice::InvokeStats& stats) mutable {
-                    b->queueDelay = stats.queueDelay;
-                    b->inference = stats.serviceTime;
-                    // Stage 4: response back to the application pod.
-                    b->responseTransmit = transport_.send(
-                        serviceNode, config_.clientNode, info.outputBytes,
-                        [this, b, info, done = std::move(done),
-                         onPostprocessDone]() mutable {
-                          // Stage 5: application post-processing.
-                          b->postprocess = info.postprocessLatency;
-                          sim_.scheduleAfter(
-                              info.postprocessLatency,
-                              [done = std::move(done), onPostprocessDone]() mutable {
-                                onPostprocessDone(std::move(done));
-                              });
-                        });
-                  });
-              if (!s.isOk()) {
-                ++failed_;
-                ME_LOG(kWarning) << "invoke on " << b->servedBy
-                                 << " failed: " << s.toString();
-              }
-            });
-      });
+  // Stage 1: client-side resize to the model's input resolution. (Read the
+  // latency before the capture moves `ctx`: argument order is unspecified.)
+  const SimDuration preprocess = ctx->info.preprocessLatency;
+  sim_.scheduleAfter(preprocess,
+                     [this, ctx = std::move(ctx)] { routeAndSend(ctx); });
   return Status::ok();
+}
+
+void TpuClient::routeAndSend(const std::shared_ptr<InvokeContext>& ctx) {
+  // Stage 2: route via the pod's LBS and transmit the frame. If the chosen
+  // TPU Service stopped answering (tRPi died between the failure and the
+  // recovery reconfiguring our weights), fail over to the pod's other
+  // shares before dropping the frame.
+  TpuService* service = nullptr;
+  std::string target;
+  std::size_t attempts = std::max<std::size_t>(1, lb_.config().weights.size());
+  for (std::size_t i = 0; i < attempts && service == nullptr; ++i) {
+    target = lb_.route();
+    service = directory_(target);
+  }
+  if (service == nullptr) {
+    ++failed_;
+    ME_LOG(kWarning) << "no reachable TPU service for " << config_.model
+                     << "; frame dropped";
+    return;
+  }
+  ctx->breakdown.servedBy = target;
+  ctx->service = service;
+  ctx->serviceNode = service->node();
+  ctx->breakdown.requestTransmit = transport_.send(
+      config_.clientNode, ctx->serviceNode, ctx->info.inputBytes(),
+      [this, ctx] { onRequestDelivered(ctx); });
+}
+
+void TpuClient::onRequestDelivered(const std::shared_ptr<InvokeContext>& ctx) {
+  // Stage 3: inference on the (serial, run-to-completion) TPU.
+  Status s = ctx->service->invoke(
+      ctx->info.name, [this, ctx](const TpuDevice::InvokeStats& stats) {
+        ctx->breakdown.queueDelay = stats.queueDelay;
+        ctx->breakdown.inference = stats.serviceTime;
+        // Stage 4: response back to the application pod.
+        ctx->breakdown.responseTransmit = transport_.send(
+            ctx->serviceNode, config_.clientNode, ctx->info.outputBytes,
+            [this, ctx] { onResponseDelivered(ctx); });
+      });
+  if (!s.isOk()) {
+    ++failed_;
+    ME_LOG(kWarning) << "invoke on " << ctx->breakdown.servedBy
+                     << " failed: " << s.toString();
+  }
+}
+
+void TpuClient::onResponseDelivered(const std::shared_ptr<InvokeContext>& ctx) {
+  // Stage 5: application post-processing.
+  ctx->breakdown.postprocess = ctx->info.postprocessLatency;
+  sim_.scheduleAfter(ctx->info.postprocessLatency,
+                     [this, ctx] { complete(ctx); });
+}
+
+void TpuClient::complete(const std::shared_ptr<InvokeContext>& ctx) {
+  ctx->breakdown.completed = sim_.now();
+  ++completed_;
+  if (ctx->done) ctx->done(ctx->breakdown);
 }
 
 }  // namespace microedge

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "dataplane/lb_service.hpp"
@@ -78,6 +79,17 @@ class TpuClient {
   }
 
  private:
+  // All per-frame pipeline state (breakdown, model info, completion) lives
+  // in one shared context so each stage's closure captures just {this, ctx}
+  // — small enough to stay inline in the event slot instead of re-copying
+  // the model info and callback through every stage.
+  struct InvokeContext;
+
+  void routeAndSend(const std::shared_ptr<InvokeContext>& ctx);
+  void onRequestDelivered(const std::shared_ptr<InvokeContext>& ctx);
+  void onResponseDelivered(const std::shared_ptr<InvokeContext>& ctx);
+  void complete(const std::shared_ptr<InvokeContext>& ctx);
+
   Simulator& sim_;
   const ModelRegistry& registry_;
   SimTransport& transport_;

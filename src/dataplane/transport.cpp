@@ -4,7 +4,7 @@ namespace microedge {
 
 SimDuration SimTransport::send(const std::string& fromNode,
                                const std::string& toNode, std::size_t bytes,
-                               std::function<void()> onDelivered) {
+                               EventFn onDelivered) {
   SimDuration latency = network_.transferLatency(fromNode, toNode, bytes);
   ++messages_;
   bytes_ += bytes;

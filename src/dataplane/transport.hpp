@@ -8,11 +8,11 @@
 // captured by the NetworkModel's base latency.
 
 #include <cstddef>
-#include <functional>
 #include <string>
 
 #include "cluster/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/event_fn.hpp"
 
 namespace microedge {
 
@@ -23,8 +23,10 @@ class SimTransport {
 
   // Delivers `onDelivered` after the transfer latency of `bytes` from
   // `fromNode` to `toNode`. Returns the modelled latency (for breakdowns).
+  // EventFn keeps inline-sized completion closures off the heap all the way
+  // into the event slot.
   SimDuration send(const std::string& fromNode, const std::string& toNode,
-                   std::size_t bytes, std::function<void()> onDelivered);
+                   std::size_t bytes, EventFn onDelivered);
 
   std::size_t messagesSent() const { return messages_; }
   std::size_t bytesSent() const { return bytes_; }

@@ -1,6 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <utility>
 
 namespace microedge {
@@ -8,9 +8,13 @@ namespace microedge {
 EventId Simulator::schedule(SimTime when, Callback fn) {
   assert(fn && "scheduling empty callback");
   if (when < now_) when = now_;
-  EventId id{nextSeq_++};
-  queue_.push(Event{when, id.seq, std::move(fn)});
-  return id;
+  const std::uint32_t si = acquireSlot();
+  const std::uint64_t seq = nextSeq_++;
+  Slot& s = slots_[si];
+  s.seq = seq;
+  s.fn = std::move(fn);
+  heapPush(si, when, seq);
+  return EventId{seq, si};
 }
 
 EventId Simulator::scheduleAfter(SimDuration delay, Callback fn) {
@@ -18,27 +22,61 @@ EventId Simulator::scheduleAfter(SimDuration delay, Callback fn) {
   return schedule(now_ + delay, std::move(fn));
 }
 
+EventId Simulator::rearmCurrentAfter(SimDuration delay) {
+  assert(firingSlot_ != kNpos &&
+         "rearmCurrentAfter is only callable from inside a firing callback");
+  if (delay < SimDuration::zero()) delay = SimDuration::zero();
+  rearmPending_ = true;
+  rearmWhen_ = now_ + delay;
+  rearmSeq_ = nextSeq_++;
+  return EventId{rearmSeq_, firingSlot_};
+}
+
 void Simulator::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.seq);
+  if (!id.valid()) return;
+  // A pending re-arm lives outside the heap until its callback returns.
+  if (rearmPending_ && id.slot == firingSlot_ && id.seq == rearmSeq_) {
+    rearmPending_ = false;
+    return;
+  }
+  if (id.slot >= slots_.size()) return;
+  // Stale handle: slot recycled (seq mismatch) or event already fired /
+  // cancelled (off-heap). Either way a no-op — nothing leaks.
+  if (slots_[id.slot].seq != id.seq || slotPos_[id.slot] == kNpos) return;
+  heapRemoveAt(slotPos_[id.slot]);
+  releaseSlot(id.slot);
 }
 
 bool Simulator::fireNext() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the callback is moved out via pop-copy.
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(ev.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.when >= now_);
-    now_ = ev.when;
-    ++fired_;
-    ev.fn();
-    return true;
+  if (heap_.empty()) return false;
+  assert(firingSlot_ == kNpos && "fireNext is not reentrant");
+  const std::uint32_t si = heap_[0].slot();
+  assert(heap_[0].when >= now_);
+  now_ = heap_[0].when;
+  ++fired_;
+  // Move the callback out: the callback may schedule events and grow
+  // `slots_`, so it must not run from arena storage.
+  EventFn fn = std::move(slots_[si].fn);
+  popRoot();
+  // Keep the slot reserved (not on the free list) while the callback runs:
+  // a re-arm wants it back, and cancel() of the now-stale id must not see a
+  // recycled slot.
+  slotPos_[si] = kNpos;
+  firingSlot_ = si;
+  rearmPending_ = false;
+  fn();
+  if (rearmPending_) {
+    rearmPending_ = false;
+    // Re-fetch: the callback may have grown slots_.
+    Slot& s = slots_[si];
+    s.fn = std::move(fn);
+    s.seq = rearmSeq_;
+    heapPush(si, rearmWhen_, rearmSeq_);
+  } else {
+    releaseSlot(si);
   }
-  return false;
+  firingSlot_ = kNpos;
+  return true;
 }
 
 std::size_t Simulator::run() {
@@ -49,20 +87,149 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::runUntil(SimTime deadline) {
   std::size_t n = 0;
-  for (;;) {
-    // Peek past cancelled events.
-    while (!queue_.empty() && cancelled_.count(queue_.top().seq)) {
-      cancelled_.erase(queue_.top().seq);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().when > deadline) break;
-    if (fireNext()) ++n;
+  while (!heap_.empty() && heap_[0].when <= deadline) {
+    fireNext();
+    ++n;
   }
   if (deadline > now_) now_ = deadline;
   return n;
 }
 
 bool Simulator::step() { return fireNext(); }
+
+std::uint32_t Simulator::acquireSlot() {
+  if (freeHead_ != kNpos) {
+    const std::uint32_t si = freeHead_;
+    freeHead_ = slots_[si].nextFree;
+    slots_[si].nextFree = kNpos;
+    return si;
+  }
+  slots_.emplace_back();
+  slotPos_.push_back(kNpos);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::releaseSlot(std::uint32_t si) {
+  Slot& s = slots_[si];
+  s.fn = EventFn();  // destroy the payload now, not at reuse time
+  s.seq = 0;
+  s.nextFree = freeHead_;
+  slotPos_[si] = kNpos;
+  freeHead_ = si;
+}
+
+void Simulator::heapPush(std::uint32_t si, SimTime when, std::uint64_t seq) {
+  heap_.emplace_back();  // grown before siftUp so positions stay in range
+  siftUp(static_cast<std::uint32_t>(heap_.size() - 1),
+         makeEntry(when, seq, si));
+}
+
+void Simulator::siftUp(std::uint32_t pos, HeapEntry e) {
+  while (pos > 0) {
+    const std::uint32_t parentPos = (pos - 1) >> 2;
+    const HeapEntry& p = heap_[parentPos];
+    if (!before(e, p)) break;
+    heap_[pos] = p;
+    slotPos_[p.slot()] = pos;
+    pos = parentPos;
+  }
+  heap_[pos] = e;
+  slotPos_[e.slot()] = pos;
+}
+
+void Simulator::siftDown(std::uint32_t pos, HeapEntry e) {
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    // Overlap the next level's memory latency with this level's compares:
+    // the likely descent target is one of this node's children, whose own
+    // children start at (first << 2) + 1.
+    const std::uint32_t grand = (first << 2) + 1;
+    if (grand < n) {
+      __builtin_prefetch(&heap_[grand]);
+      __builtin_prefetch(&heap_[std::min(grand + 12, n - 1)]);
+    }
+    // The four children are adjacent; scan for the minimum.
+    std::uint32_t best = first;
+    const std::uint32_t end = std::min(first + 4, n);
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    slotPos_[heap_[pos].slot()] = pos;
+    pos = best;
+  }
+  heap_[pos] = e;
+  slotPos_[e.slot()] = pos;
+}
+
+// Bottom-up pop (Wegener): the replacement entry comes from the deepest
+// layer and almost always belongs back there, so comparing it against every
+// node on the way down is wasted work. Instead, walk the min-child path to a
+// leaf unconditionally (3 compares per level, no data-dependent exit branch)
+// and sift the replacement up from that leaf — expected O(1) correction.
+void Simulator::popRoot() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  if (n == 0) return;
+  std::uint32_t hole = 0;
+  for (;;) {
+    const std::uint32_t first = (hole << 2) + 1;
+    if (first >= n) break;
+    const std::uint32_t grand = (first << 2) + 1;
+    if (grand < n) {
+      __builtin_prefetch(&heap_[grand]);
+      __builtin_prefetch(&heap_[std::min(grand + 12, n - 1)]);
+    }
+    std::uint32_t best = first;
+    const std::uint32_t end = std::min(first + 4, n);
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    slotPos_[heap_[hole].slot()] = hole;
+    hole = best;
+  }
+  siftUp(hole, last);
+}
+
+void Simulator::heapRemoveAt(std::uint32_t pos) {
+  HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // The replacement may belong above or below the vacated position.
+    if (pos > 0 && before(last, heap_[(pos - 1) >> 2])) {
+      siftUp(pos, last);
+    } else {
+      siftDown(pos, last);
+    }
+  }
+}
+
+bool Simulator::checkInvariants() const {
+  for (std::uint32_t pos = 0; pos < heap_.size(); ++pos) {
+    const HeapEntry& e = heap_[pos];
+    const std::uint32_t si = e.slot();
+    const std::uint64_t seq = e.seqSlot >> kSlotBits;
+    if (si >= slots_.size()) return false;
+    if (slotPos_[si] != pos) return false;
+    if (slots_[si].seq != seq || seq == 0) return false;
+    if (!slots_[si].fn) return false;
+    if (pos > 0 && before(e, heap_[(pos - 1) >> 2])) return false;
+  }
+  if (slotPos_.size() != slots_.size()) return false;
+  std::size_t freeCount = 0;
+  for (std::uint32_t si = freeHead_; si != kNpos; si = slots_[si].nextFree) {
+    if (si >= slots_.size()) return false;
+    if (slotPos_[si] != kNpos || slots_[si].seq != 0) return false;
+    if (++freeCount > slots_.size()) return false;  // cycle guard
+  }
+  const std::size_t reserved = firingSlot_ != kNpos ? 1 : 0;
+  return heap_.size() + freeCount + reserved == slots_.size();
+}
 
 void PeriodicTask::startAt(SimTime first) {
   stop();
@@ -75,11 +242,17 @@ void PeriodicTask::stop() {
     sim_.cancel(next_);
     running_ = false;
   }
+  // Always drop the handle: a stale id must not be re-cancelled later (the
+  // seq may have been recycled for an unrelated event by then).
+  next_ = EventId{};
 }
 
 void PeriodicTask::fire() {
-  // Re-arm before invoking so the callback can stop() the task.
-  next_ = sim_.scheduleAfter(period_, [this] { fire(); });
+  // Re-arm before invoking so the callback can stop() the task. The engine
+  // re-uses this event's slot and moves the in-flight tick closure back into
+  // it — no new closure, no allocation, a fresh seq for deterministic
+  // same-timestamp ordering.
+  next_ = sim_.rearmCurrentAfter(period_);
   fn_();
 }
 

@@ -1,0 +1,122 @@
+#pragma once
+
+// EventFn: a move-only, small-buffer-optimized replacement for
+// std::function<void()> on the simulator hot path.
+//
+// Every scheduled event stores exactly one of these inside its heap slot.
+// Callables up to kInlineSize bytes (48 — enough for every closure the
+// actors capture: a this-pointer plus a shared context pointer, a whole
+// std::function<void()>, or a ~40-byte stats blob) live inline in the slot;
+// firing an event is then a small memcpy-class move with zero heap traffic.
+// Larger callables fall back to a single heap allocation, and moving the
+// wrapper just moves the pointer.
+//
+// Unlike std::function, EventFn is move-only: events are consumed exactly
+// once, so copyability would only force captured state to be copyable and
+// hide accidental copies. Invoking an empty EventFn is undefined (asserted
+// in debug builds).
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace microedge {
+
+class EventFn {
+ public:
+  // Floor required by the actors; raising it grows every event slot.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like wrapper
+    if constexpr (fitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      manage_ = [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        if (dst != nullptr) ::new (dst) D(std::move(*s));
+        s->~D();
+      };
+    } else {
+      D* heap = new D(std::forward<F>(f));
+      ::new (static_cast<void*>(buf_)) D*(heap);
+      invoke_ = [](void* p) { (**static_cast<D**>(p))(); };
+      manage_ = [](void* dst, void* src) {
+        D** s = static_cast<D**>(src);
+        if (dst != nullptr) {
+          ::new (dst) D*(*s);  // transfer ownership of the pointer
+        } else {
+          delete *s;
+        }
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    assert(invoke_ != nullptr && "invoking empty EventFn");
+    invoke_(buf_);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  // Whether a callable of type F would be stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool fitsInline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  using Invoke = void (*)(void*);
+  // dst != nullptr: move the payload from src into dst, then destroy src's.
+  // dst == nullptr: destroy src's payload.
+  using Manage = void (*)(void* dst, void* src);
+
+  void moveFrom(EventFn& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      other.manage_(buf_, other.buf_);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(nullptr, buf_);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace microedge

@@ -1,0 +1,202 @@
+// Randomized stress for the indexed-heap event engine: interleaved
+// schedule / cancel / step / runFor / periodic activity with full structural
+// invariant checks, monotonic-clock assertions and bit-exact replay of the
+// fired-event trace across identically seeded runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace microedge {
+namespace {
+
+struct FiredRecord {
+  std::int64_t atNs;
+  std::uint64_t tag;
+  bool operator==(const FiredRecord& o) const {
+    return atNs == o.atNs && tag == o.tag;
+  }
+};
+
+struct Workload {
+  explicit Workload(std::uint64_t seed) : rng(seed) {}
+
+  Pcg32 rng;
+  Simulator sim;
+  std::vector<FiredRecord> trace;
+  std::vector<EventId> handles;  // fired/cancelled ids kept in: stale cancels
+  std::unordered_set<std::uint64_t> rearms;  // tags already re-armed once
+  std::uint64_t nextTag = 0;
+  SimTime lastFire = kSimEpoch;
+  bool monotonic = true;
+
+  void record(std::uint64_t tag) {
+    if (sim.now() < lastFire) monotonic = false;
+    lastFire = sim.now();
+    trace.push_back({sim.now().time_since_epoch().count(), tag});
+  }
+
+  void scheduleOne() {
+    const std::uint64_t tag = nextTag++;
+    const auto delay = microseconds(rng.nextBounded(5000));
+    handles.push_back(sim.scheduleAfter(delay, [this, tag] {
+      record(tag);
+      // Some events chain a follow-up from inside their own firing, and some
+      // re-arm in place -- both grow/mutate the heap mid-fire.
+      if ((tag & 15u) == 0 && sim.now() < kSimEpoch + seconds(1)) {
+        const std::uint64_t again = nextTag++;
+        sim.scheduleAfter(microseconds(17), [this, again] { record(again); });
+      } else if ((tag & 15u) == 1 && sim.now() < kSimEpoch + seconds(1) &&
+                 rearms.insert(tag).second) {
+        handles.push_back(sim.rearmCurrentAfter(microseconds(23)));
+      }
+    }));
+  }
+
+  // One random operation against the simulator.
+  void act() {
+    switch (rng.nextBounded(8)) {
+      case 0:
+      case 1:
+      case 2:
+        scheduleOne();
+        break;
+      case 3:  // burst
+        for (int i = 0; i < 8; ++i) scheduleOne();
+        break;
+      case 4:  // cancel a random handle -- often already fired (stale)
+        if (!handles.empty()) {
+          sim.cancel(handles[rng.nextBounded(
+              static_cast<std::uint32_t>(handles.size()))]);
+        }
+        break;
+      case 5:
+        sim.step();
+        break;
+      case 6:
+        sim.runFor(microseconds(rng.nextBounded(2000)));
+        break;
+      case 7:  // schedule + immediately cancel (guaranteed-live cancel)
+        sim.cancel(sim.scheduleAfter(microseconds(rng.nextBounded(5000)),
+                                     [this] { record(~0ull); }));
+        break;
+    }
+  }
+};
+
+TEST(SimStressTest, InvariantsHoldAcrossRandomInterleavings) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    Workload w(seed);
+    for (int round = 0; round < 400; ++round) {
+      w.act();
+      ASSERT_TRUE(w.sim.checkInvariants())
+          << "seed=" << seed << " round=" << round;
+    }
+    w.sim.run();
+    ASSERT_TRUE(w.sim.checkInvariants()) << "seed=" << seed << " after drain";
+    EXPECT_TRUE(w.sim.empty());
+    EXPECT_TRUE(w.monotonic) << "seed=" << seed;
+  }
+}
+
+TEST(SimStressTest, NowIsMonotonicThroughoutRandomRuns) {
+  Workload w(7);
+  SimTime prev = w.sim.now();
+  for (int round = 0; round < 1000; ++round) {
+    w.act();
+    ASSERT_GE(w.sim.now(), prev) << "round=" << round;
+    prev = w.sim.now();
+  }
+  w.sim.run();
+  EXPECT_GE(w.sim.now(), prev);
+  EXPECT_TRUE(w.monotonic);
+}
+
+TEST(SimStressTest, IdenticalSeedsReplayIdenticalTraces) {
+  auto runOnce = [](std::uint64_t seed) {
+    Workload w(seed);
+    for (int round = 0; round < 600; ++round) w.act();
+    w.sim.run();
+    EXPECT_TRUE(w.monotonic);
+    return std::move(w.trace);
+  };
+  for (std::uint64_t seed : {3ull, 99ull, 2026ull}) {
+    const auto a = runOnce(seed);
+    const auto b = runOnce(seed);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "seed=" << seed;
+  }
+  // Different seeds should diverge (sanity check the trace is seed-driven).
+  EXPECT_NE(runOnce(3), runOnce(99));
+}
+
+TEST(SimStressTest, PeriodicTasksSurviveRandomChurn) {
+  Pcg32 rng(11);
+  Simulator sim;
+  std::vector<int> counts(16, 0);
+  std::vector<std::unique_ptr<PeriodicTask>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back(std::make_unique<PeriodicTask>(
+        sim, microseconds(50 + 13 * i), [&counts, i] { ++counts[i]; }));
+    tasks.back()->start();
+  }
+  for (int round = 0; round < 200; ++round) {
+    const std::uint32_t pick = rng.nextBounded(16);
+    switch (rng.nextBounded(4)) {
+      case 0:
+        tasks[pick]->stop();
+        break;
+      case 1:
+        if (!tasks[pick]->running()) tasks[pick]->start();
+        break;
+      default:
+        sim.runFor(microseconds(rng.nextBounded(500)));
+        break;
+    }
+    ASSERT_TRUE(sim.checkInvariants()) << "round=" << round;
+  }
+  for (auto& t : tasks) t->stop();
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  ASSERT_TRUE(sim.checkInvariants());
+  // Every task ran at least once before the churn stopped it.
+  for (int i = 0; i < 16; ++i) EXPECT_GT(counts[i], 0) << "task " << i;
+}
+
+// The heap must stay consistent even when callbacks schedule, cancel and
+// re-enter runFor-adjacent entry points from inside fireNext().
+TEST(SimStressTest, CallbacksMutatingTheQueueKeepInvariants) {
+  Pcg32 rng(5);
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(sim.scheduleAfter(microseconds(10 + i), [&] {
+      ++fired;
+      EXPECT_TRUE(sim.checkInvariants());  // mid-fire: slot reserved
+      if (rng.bernoulli(0.5)) {
+        ids.push_back(
+            sim.scheduleAfter(microseconds(rng.nextBounded(100)), [&fired] {
+              ++fired;
+            }));
+      }
+      if (!ids.empty() && rng.bernoulli(0.3)) {
+        sim.cancel(ids[rng.nextBounded(static_cast<std::uint32_t>(ids.size()))]);
+      }
+    }));
+  }
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_TRUE(sim.checkInvariants());
+  EXPECT_GT(fired, 0);
+}
+
+}  // namespace
+}  // namespace microedge

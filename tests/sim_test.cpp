@@ -155,6 +155,89 @@ TEST(PeriodicTaskTest, DestructorCancels) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(SimulatorTest, CancelFiredIdKeepsPendingCountSane) {
+  // Regression: the seed engine tombstoned cancels of already-fired ids,
+  // which made pendingCount() (queue size minus tombstones) wrap and
+  // empty() lie.
+  Simulator sim;
+  EventId id = sim.scheduleAfter(milliseconds(1), [] {});
+  sim.scheduleAfter(milliseconds(2), [] {});
+  ASSERT_TRUE(sim.step());  // fires `id`
+  sim.cancel(id);           // stale id: must be a no-op
+  sim.cancel(id);           // double-cancel: still a no-op
+  EXPECT_EQ(sim.pendingCount(), 1u);
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pendingCount(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, DoubleCancelDoesNotUnderflowPendingCount) {
+  Simulator sim;
+  EventId id = sim.scheduleAfter(milliseconds(1), [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pendingCount(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimulatorTest, StaleIdOnRecycledSlotIsNoop) {
+  Simulator sim;
+  EventId a = sim.scheduleAfter(milliseconds(1), [] {});
+  sim.run();
+  // B re-uses A's slot; the stale A handle must not cancel it.
+  bool bFired = false;
+  sim.scheduleAfter(milliseconds(1), [&] { bFired = true; });
+  sim.cancel(a);
+  EXPECT_EQ(sim.pendingCount(), 1u);
+  sim.run();
+  EXPECT_TRUE(bFired);
+}
+
+TEST(SimulatorTest, RearmCurrentRepeatsTheFiringCallback) {
+  Simulator sim;
+  int count = 0;
+  sim.scheduleAfter(milliseconds(1), [&] {
+    if (++count < 3) sim.rearmCurrentAfter(milliseconds(1));
+  });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), kSimEpoch + milliseconds(3));
+}
+
+TEST(SimulatorTest, CancellingRearmedIdStopsRepetition) {
+  Simulator sim;
+  int count = 0;
+  sim.scheduleAfter(milliseconds(1), [&] {
+    ++count;
+    EventId next = sim.rearmCurrentAfter(milliseconds(1));
+    if (count >= 2) sim.cancel(next);
+  });
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(PeriodicTaskTest, StopTwiceThenRestartIsSafe) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, milliseconds(10), [&] { ++count; });
+  task.start();
+  sim.runUntil(kSimEpoch + milliseconds(25));
+  task.stop();
+  task.stop();  // regression: re-stop must not re-cancel a stale id
+  bool bystander = false;
+  sim.scheduleAfter(milliseconds(1), [&] { bystander = true; });
+  task.stop();  // nor after an unrelated event took over the seq space
+  sim.run();
+  EXPECT_TRUE(bystander);
+  EXPECT_EQ(count, 2);
+  task.start();
+  sim.runFor(milliseconds(15));
+  EXPECT_EQ(count, 3);
+}
+
 TEST(SimulatorTest, DeterministicAcrossRuns) {
   auto runOnce = [] {
     Simulator sim;
