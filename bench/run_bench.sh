@@ -1,31 +1,37 @@
 #!/usr/bin/env bash
-# Runs the event-engine microbenchmarks and emits machine-readable results.
+# Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [output.json]
-#   BUILD_DIR=build   build tree containing bench/bench_micro_sim
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json]
+#   BUILD_DIR=build   build tree containing bench/bench_micro_sim and
+#                     bench/bench_micro_scheduler
 #   REPS=1            benchmark repetitions
 #
-# The JSON lands at BENCH_sim.json by default so the perf trajectory of the
-# event engine is tracked in-repo from PR to PR.
+# The JSON lands at BENCH_sim.json / BENCH_sched.json by default so the perf
+# trajectory of the event engine and the admission control plane is tracked
+# in-repo from PR to PR.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_sim.json}"
+SIM_OUT="${1:-BENCH_sim.json}"
+SCHED_OUT="${2:-BENCH_sched.json}"
 REPS="${REPS:-1}"
-BIN="${BUILD_DIR}/bench/bench_micro_sim"
 
-if [[ ! -x "${BIN}" ]]; then
-  echo "error: ${BIN} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
-  exit 1
-fi
+run_suite() {
+  local bin="$1" out="$2"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+  "${bin}" \
+    --benchmark_repetitions="${REPS}" \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_out_format=json \
+    --benchmark_out="${out}"
+  echo "wrote ${out}"
+}
 
-"${BIN}" \
-  --benchmark_repetitions="${REPS}" \
-  --benchmark_report_aggregates_only=false \
-  --benchmark_out_format=json \
-  --benchmark_out="${OUT}"
-
-echo "wrote ${OUT}"
+run_suite "${BUILD_DIR}/bench/bench_micro_sim" "${SIM_OUT}"
+run_suite "${BUILD_DIR}/bench/bench_micro_scheduler" "${SCHED_OUT}"

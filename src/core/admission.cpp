@@ -15,7 +15,7 @@ AdmissionController::AdmissionController(TpuPool& pool,
 
 bool AdmissionController::modelAllowedOn(const TpuState& tpu,
                                          const ModelInfo& model) const {
-  if (tpu.hasModel(model.name)) return true;
+  if (tpu.hasModel(model.id)) return true;
   if (model.paramSizeMb > tpu.paramCapacityMb()) {
     // Oversized model: only schedulable alone (partial caching streams the
     // overflow; colocating anything else would evict its cached portion).
@@ -42,26 +42,47 @@ StatusOr<LoadCommand> AdmissionController::makeLoad(TpuState& tpu,
   return LoadCommand{plan.tpuId, plan.composite, plan.compileLatency};
 }
 
+std::optional<AdmitResult> AdmissionController::placeSingle(
+    std::size_t index, std::uint64_t podUid, const ModelInfo& model,
+    TpuUnit units) {
+  TpuState& tpu = pool_.tpus()[index];
+  AdmitResult result;
+  if (!tpu.hasModel(model.id)) {
+    auto load = makeLoad(tpu, model);
+    if (!load.isOk()) return std::nullopt;  // purge race; try next TPU
+    result.loads.push_back(std::move(load).value());
+  }
+  tpu.addAllocation(model.id, units);
+  result.allocation =
+      Allocation{podUid, model.name, {TpuShare{tpu.id(), units, tpu.tpuId()}}};
+  nextFitCursor_ = index;
+  return result;
+}
+
 StatusOr<AdmitResult> AdmissionController::admitSingle(std::uint64_t podUid,
                                                        const ModelInfo& model,
                                                        TpuUnit units) {
-  for (std::size_t index :
-       packingScanOrder(config_.strategy, pool_, nextFitCursor_)) {
-    TpuState& tpu = pool_.tpus()[index];
-    if (tpu.currentLoad() + units > TpuUnit::full()) continue;
-    if (!modelAllowedOn(tpu, model)) continue;
-
-    AdmitResult result;
-    if (!tpu.hasModel(model.name)) {
-      auto load = makeLoad(tpu, model);
-      if (!load.isOk()) continue;  // capacity race with purge; try next TPU
-      result.loads.push_back(std::move(load).value());
+  if (config_.indexedScan) {
+    // O(log M) per candidate: the cursor only yields TPUs whose residual
+    // already satisfies the TPU Units Rule.
+    auto cursor = pool_.scan(config_.strategy, units, nextFitCursor_);
+    for (std::uint32_t index = cursor.next(); index != TpuPool::npos;
+         index = cursor.next()) {
+      if (!modelAllowedOn(pool_.tpus()[index], model)) continue;
+      if (auto result = placeSingle(index, podUid, model, units)) {
+        return std::move(*result);
+      }
     }
-    tpu.addAllocation(model.name, units);
-    result.allocation =
-        Allocation{podUid, model.name, {TpuShare{tpu.id(), units}}};
-    nextFitCursor_ = index;
-    return result;
+  } else {
+    for (std::size_t index :
+         packingScanOrder(config_.strategy, pool_, nextFitCursor_)) {
+      const TpuState& tpu = pool_.tpus()[index];
+      if (tpu.currentLoad() + units > TpuUnit::full()) continue;
+      if (!modelAllowedOn(tpu, model)) continue;
+      if (auto result = placeSingle(index, podUid, model, units)) {
+        return std::move(*result);
+      }
+    }
   }
   return resourceExhausted(
       strCat("no single TPU can host ", units.toString(), " units of ",
@@ -77,15 +98,29 @@ StatusOr<AdmitResult> AdmissionController::admitPartitioned(
   };
   std::vector<PlannedShare> planned;
   TpuUnit remaining = units;
-  for (std::size_t index :
-       packingScanOrder(config_.strategy, pool_, nextFitCursor_)) {
+  // Considers one candidate; returns true once the request is fully planned.
+  auto consider = [&](std::size_t index) {
     const TpuState& tpu = pool_.tpus()[index];
-    if (!modelAllowedOn(tpu, model)) continue;
+    if (!modelAllowedOn(tpu, model)) return false;
     TpuUnit wp = TpuUnit::min(remaining, tpu.freeUnits());
-    if (!wp.isPositive()) continue;
+    if (!wp.isPositive()) return false;
     planned.push_back(PlannedShare{index, wp});
     remaining -= wp;
-    if (remaining.isZero()) break;
+    return remaining.isZero();
+  };
+  if (config_.indexedScan) {
+    // Any TPU with at least one free milli-unit is a candidate.
+    auto cursor =
+        pool_.scan(config_.strategy, TpuUnit::fromMilli(1), nextFitCursor_);
+    for (std::uint32_t index = cursor.next(); index != TpuPool::npos;
+         index = cursor.next()) {
+      if (consider(index)) break;
+    }
+  } else {
+    for (std::size_t index :
+         packingScanOrder(config_.strategy, pool_, nextFitCursor_)) {
+      if (consider(index)) break;
+    }
   }
   if (remaining.isPositive()) {
     return resourceExhausted(
@@ -99,15 +134,16 @@ StatusOr<AdmitResult> AdmissionController::admitPartitioned(
   result.allocation.model = model.name;
   for (const PlannedShare& share : planned) {
     TpuState& tpu = pool_.tpus()[share.index];
-    if (!tpu.hasModel(model.name)) {
+    if (!tpu.hasModel(model.id)) {
       auto load = makeLoad(tpu, model);
       // modelAllowedOn held in phase 1 and nothing changed since; a failure
       // here is a logic error, not a runtime condition.
       assert(load.isOk());
       if (load.isOk()) result.loads.push_back(std::move(load).value());
     }
-    tpu.addAllocation(model.name, share.units);
-    result.allocation.shares.push_back(TpuShare{tpu.id(), share.units});
+    tpu.addAllocation(model.id, share.units);
+    result.allocation.shares.push_back(
+        TpuShare{tpu.id(), share.units, tpu.tpuId()});
   }
   nextFitCursor_ = planned.back().index;
   return result;
@@ -116,10 +152,10 @@ StatusOr<AdmitResult> AdmissionController::admitPartitioned(
 StatusOr<AdmitResult> AdmissionController::admit(std::uint64_t podUid,
                                                  const std::string& modelName,
                                                  TpuUnit units) {
-  auto model = registry_.find(modelName);
-  if (!model.isOk()) {
+  const ModelInfo* model = registry_.findPtr(modelName);
+  if (model == nullptr) {
     ++rejected_;
-    return model.status();
+    return notFound(strCat("model ", modelName, " not registered"));
   }
   if (!units.isPositive()) {
     ++rejected_;
@@ -157,7 +193,8 @@ StatusOr<AdmitResult> AdmissionController::admit(std::uint64_t podUid,
 Status AdmissionController::release(const Allocation& allocation) {
   Status first = Status::ok();
   for (const TpuShare& share : allocation.shares) {
-    TpuState* tpu = pool_.find(share.tpuId);
+    TpuState* tpu =
+        share.tpu.valid() ? pool_.find(share.tpu) : pool_.find(share.tpuId);
     if (tpu == nullptr) {
       // TPU left the pool (node failure) — its bookkeeping died with it.
       continue;

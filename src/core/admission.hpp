@@ -19,6 +19,7 @@
 // units > 1. Rejection has no side effects (all-or-nothing commit).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,12 +36,20 @@ struct AdmissionConfig {
   bool enableWorkloadPartitioning = true;
   bool enableCoCompile = true;
   PackingStrategy strategy = PackingStrategy::kFirstFit;
+  // Scan candidates through the pool's incremental packing indexes
+  // (O(log M) per admission) instead of materializing packingScanOrder()
+  // (O(M), plus a sort for Best/Worst-Fit). The two paths place identically;
+  // the naive path is retained as the differential-test reference.
+  bool indexedScan = true;
 };
 
 // One pod's share on one TPU Service instance.
 struct TpuShare {
   std::string tpuId;
   TpuUnit units;
+  // Dense handle for the same TPU; release() and the LB service route by
+  // this instead of re-resolving the string id.
+  TpuId tpu{};
 };
 
 struct Allocation {
@@ -116,6 +125,14 @@ class AdmissionController : public TpuAllocator {
   // Builds the Load side effect for placing `model` on `tpu` and applies
   // lazy purge. No-op (empty optional) if the model is already live there.
   StatusOr<LoadCommand> makeLoad(TpuState& tpu, const ModelInfo& model);
+
+  // Commits `units` of `model` onto the TPU at `index` (the caller has
+  // checked capacity and the Model Size Rule). Returns nullopt if the
+  // co-compile plan races with the purge (caller tries the next candidate).
+  std::optional<AdmitResult> placeSingle(std::size_t index,
+                                         std::uint64_t podUid,
+                                         const ModelInfo& model,
+                                         TpuUnit units);
 
   StatusOr<AdmitResult> admitSingle(std::uint64_t podUid,
                                     const ModelInfo& model, TpuUnit units);

@@ -1,7 +1,5 @@
 #include "core/cocompiler.hpp"
 
-#include <algorithm>
-
 #include "util/strings.hpp"
 
 namespace microedge {
@@ -16,13 +14,16 @@ StatusOr<CoCompilePlan> CoCompiler::planAdd(const TpuState& tpu,
                                             const ModelInfo& model) const {
   CoCompilePlan plan;
   plan.tpuId = tpu.id();
-  plan.composite = tpu.liveModels();  // zero-reference models are excluded
   double total = 0.0;
-  for (const auto& name : plan.composite) {
-    total += registry_.at(name).paramSizeMb;
+  bool present = false;
+  // zero-reference models are excluded from the composite
+  for (ModelId id : tpu.liveModelIds()) {
+    const ModelInfo& live = registry_.at(id);
+    plan.composite.push_back(live.name);
+    total += live.paramSizeMb;
+    present = present || id == model.id;
   }
-  if (std::find(plan.composite.begin(), plan.composite.end(), model.name) ==
-      plan.composite.end()) {
+  if (!present) {
     plan.composite.push_back(model.name);
     total += model.paramSizeMb;
   }

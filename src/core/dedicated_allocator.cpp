@@ -19,12 +19,17 @@ StatusOr<AdmitResult> DedicatedAllocator::admit(std::uint64_t podUid,
   // Integral TPU count: 0.35 -> 1 TPU, 1.2 -> 2 TPUs.
   auto needed = static_cast<std::size_t>((units.milli() + 999) / 1000);
 
+  // First-Fit over fully-idle TPUs: the index yields exactly the TPUs with
+  // residual 1000 milli, in pool order — the same walk as a linear scan
+  // without visiting loaded TPUs.
   std::vector<TpuState*> free;
-  for (auto& tpu : pool_.tpus()) {
-    if (tpu.currentLoad().isZero() && tpu.liveModelCount() == 0) {
-      free.push_back(&tpu);
-      if (free.size() == needed) break;
-    }
+  auto cursor = pool_.scan(PackingStrategy::kFirstFit, TpuUnit::full());
+  for (std::uint32_t index = cursor.next(); index != TpuPool::npos;
+       index = cursor.next()) {
+    TpuState& tpu = pool_.tpus()[index];
+    if (tpu.liveModelCount() != 0) continue;
+    free.push_back(&tpu);
+    if (free.size() == needed) break;
   }
   if (free.size() < needed) {
     ++rejected_;
@@ -42,8 +47,9 @@ StatusOr<AdmitResult> DedicatedAllocator::admit(std::uint64_t podUid,
       static_cast<std::int64_t>(needed));
   for (TpuState* tpu : free) {
     // The whole TPU is taken regardless of the duty cycle actually used.
-    tpu->addAllocation(modelName, TpuUnit::full());
-    result.allocation.shares.push_back(TpuShare{tpu->id(), perTpu});
+    tpu->addAllocation(model->id, TpuUnit::full());
+    result.allocation.shares.push_back(
+        TpuShare{tpu->id(), perTpu, tpu->tpuId()});
     result.loads.push_back(LoadCommand{tpu->id(), {modelName}, {}});
   }
   ++admitted_;
@@ -53,7 +59,8 @@ StatusOr<AdmitResult> DedicatedAllocator::admit(std::uint64_t podUid,
 Status DedicatedAllocator::release(const Allocation& allocation) {
   Status first = Status::ok();
   for (const TpuShare& share : allocation.shares) {
-    TpuState* tpu = pool_.find(share.tpuId);
+    TpuState* tpu =
+        share.tpu.valid() ? pool_.find(share.tpu) : pool_.find(share.tpuId);
     if (tpu == nullptr) continue;
     Status s = tpu->removeAllocation(allocation.model, TpuUnit::full());
     if (s.isOk()) tpu->purgeDeadModels();

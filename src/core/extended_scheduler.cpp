@@ -17,7 +17,8 @@ LbConfig ExtendedScheduler::lbConfigFromAllocation(
   config.weights.reserve(allocation.shares.size());
   for (const TpuShare& share : allocation.shares) {
     config.weights.push_back(
-        LbWeight{share.tpuId, static_cast<std::uint32_t>(share.units.milli())});
+        LbWeight{share.tpuId, static_cast<std::uint32_t>(share.units.milli()),
+                 share.tpu});
   }
   return config;
 }

@@ -34,6 +34,9 @@ namespace microedge {
 struct LbWeight {
   std::string tpuId;
   std::uint32_t weight = 0;
+  // Dense handle for the same TPU Service; the data plane routes by this
+  // without resolving the string id per frame.
+  TpuId tpu{};
 };
 
 struct LbConfig {

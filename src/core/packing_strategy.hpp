@@ -7,27 +7,10 @@
 // implemented for the ablation bench: they all plug into the same admission
 // algorithm by changing the order in which Algorithm 1 scans the TPU pool
 // (and, for Next-Fit, which TPUs it may revisit).
-
-#include <cstddef>
-#include <string>
-#include <vector>
+//
+// The PackingStrategy enum, the incremental indexed scan (TpuPool::scan) and
+// the naive materialized reference (packingScanOrder) live in
+// core/tpu_state.hpp, next to the pool state they index; this header remains
+// for include compatibility.
 
 #include "core/tpu_state.hpp"
-
-namespace microedge {
-
-enum class PackingStrategy { kFirstFit, kNextFit, kBestFit, kWorstFit };
-
-std::string_view toString(PackingStrategy strategy);
-
-// Returns indices into pool.tpus() in the order the admission scan should
-// try them.
-//  - FirstFit: pool order.
-//  - NextFit:  from `nextFitCursor` onward only (earlier bins are "closed").
-//  - BestFit:  most-loaded first (tightest remaining gap), ties by index.
-//  - WorstFit: least-loaded first, ties by index.
-std::vector<std::size_t> packingScanOrder(PackingStrategy strategy,
-                                          const TpuPool& pool,
-                                          std::size_t nextFitCursor);
-
-}  // namespace microedge

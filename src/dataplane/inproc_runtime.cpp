@@ -122,14 +122,17 @@ Status InprocClient::configure(
     const LbConfig& config,
     const std::map<std::string, InprocTpuService*>& directory) {
   std::vector<WrrTarget> targets;
+  std::vector<InprocTpuService*> resolved;
   for (const LbWeight& w : config.weights) {
-    if (directory.count(w.tpuId) == 0) {
+    auto it = directory.find(w.tpuId);
+    if (it == directory.end()) {
       return notFound(strCat("inproc client: no service for ", w.tpuId));
     }
     targets.push_back(WrrTarget{w.tpuId, w.weight});
+    resolved.push_back(it->second);
   }
   ME_RETURN_IF_ERROR(wrr_.setTargets(std::move(targets)));
-  directory_ = directory;
+  resolved_ = std::move(resolved);
   return Status::ok();
 }
 
@@ -138,7 +141,7 @@ StatusOr<InprocTpuService::Result> InprocClient::invoke() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (wrr_.empty()) return failedPrecondition("inproc client not configured");
-    target = directory_.at(wrr_.pick());
+    target = resolved_[wrr_.pickIndex()];
     ++invokes_;
   }
   return target->invoke(model_);

@@ -102,7 +102,9 @@ class InprocClient {
   const ModelRegistry& registry_;
   std::string model_;
   SmoothWrr wrr_;
-  std::map<std::string, InprocTpuService*> directory_;
+  // Services pre-resolved at configure time, aligned with the WRR targets —
+  // each invoke routes with one pickIndex() and no map probe.
+  std::vector<InprocTpuService*> resolved_;
   std::mutex mu_;  // WRR state is not thread-safe on its own
   std::uint64_t invokes_ = 0;
 };

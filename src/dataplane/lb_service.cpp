@@ -16,22 +16,24 @@ Status LbService::configure(const LbConfig& config) {
   lbConfig_ = config;
   configured_ = true;
   routed_ = 0;
-  perTarget_.clear();
+  perTarget_.assign(lbConfig_.weights.size(), 0);
   return Status::ok();
 }
 
-const std::string& LbService::route() {
+std::size_t LbService::routeIndex() {
   assert(configured_ && "LbService::route before configure");
-  const std::string& target =
-      spread_ == LbSpread::kSmooth ? smooth_.pick() : burst_.pick();
+  std::size_t index =
+      spread_ == LbSpread::kSmooth ? smooth_.pickIndex() : burst_.pickIndex();
   ++routed_;
-  ++perTarget_[target];
-  return target;
+  ++perTarget_[index];
+  return index;
 }
 
 std::uint64_t LbService::routedCountTo(const std::string& tpuId) const {
-  auto it = perTarget_.find(tpuId);
-  return it == perTarget_.end() ? 0 : it->second;
+  for (std::size_t i = 0; i < lbConfig_.weights.size(); ++i) {
+    if (lbConfig_.weights[i].tpuId == tpuId) return perTarget_[i];
+  }
+  return 0;
 }
 
 }  // namespace microedge

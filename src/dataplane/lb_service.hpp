@@ -10,8 +10,8 @@
 // ablation bench.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "core/extended_scheduler.hpp"
 #include "dataplane/wrr.hpp"
@@ -29,9 +29,13 @@ class LbService {
   Status configure(const LbConfig& config);
   bool configured() const { return configured_; }
 
+  // Routes the next request; returns the index of the target in
+  // config().weights. Per-frame hot path — no string is touched.
+  // Precondition: configured().
+  std::size_t routeIndex();
   // Routes the next request; returns the target TPU id.
   // Precondition: configured().
-  const std::string& route();
+  const std::string& route() { return lbConfig_.weights[routeIndex()].tpuId; }
 
   std::uint64_t routedCount() const { return routed_; }
   std::uint64_t routedCountTo(const std::string& tpuId) const;
@@ -44,7 +48,8 @@ class LbService {
   LbConfig lbConfig_;
   bool configured_ = false;
   std::uint64_t routed_ = 0;
-  std::map<std::string, std::uint64_t> perTarget_;
+  // Aligned with lbConfig_.weights (the WRR preserves target order).
+  std::vector<std::uint64_t> perTarget_;
 };
 
 }  // namespace microedge

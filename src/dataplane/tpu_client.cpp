@@ -57,11 +57,11 @@ void TpuClient::routeAndSend(const std::shared_ptr<InvokeContext>& ctx) {
   // recovery reconfiguring our weights), fail over to the pod's other
   // shares before dropping the frame.
   TpuService* service = nullptr;
-  std::string target;
+  const LbWeight* target = nullptr;
   std::size_t attempts = std::max<std::size_t>(1, lb_.config().weights.size());
   for (std::size_t i = 0; i < attempts && service == nullptr; ++i) {
-    target = lb_.route();
-    service = directory_(target);
+    target = &lb_.config().weights[lb_.routeIndex()];
+    service = directory_(target->tpuId);
   }
   if (service == nullptr) {
     ++failed_;
@@ -69,7 +69,7 @@ void TpuClient::routeAndSend(const std::shared_ptr<InvokeContext>& ctx) {
                      << "; frame dropped";
     return;
   }
-  ctx->breakdown.servedBy = target;
+  ctx->breakdown.servedBy = target->tpuId;
   ctx->service = service;
   ctx->serviceNode = service->node();
   ctx->breakdown.requestTransmit = transport_.send(

@@ -41,7 +41,7 @@ Status SmoothWrr::setTargets(std::vector<WrrTarget> targets) {
   return Status::ok();
 }
 
-const std::string& SmoothWrr::pick() {
+std::size_t SmoothWrr::pickIndex() {
   assert(!targets_.empty() && "pick() on empty WRR");
   std::size_t best = 0;
   for (std::size_t i = 0; i < targets_.size(); ++i) {
@@ -50,7 +50,7 @@ const std::string& SmoothWrr::pick() {
   }
   current_[best] -= static_cast<std::int64_t>(totalWeight_);
   ++counts_[best];
-  return targets_[best].id;
+  return best;
 }
 
 std::uint64_t SmoothWrr::pickCount(const std::string& id) const {
@@ -69,14 +69,14 @@ Status BurstWrr::setTargets(std::vector<WrrTarget> targets) {
   return Status::ok();
 }
 
-const std::string& BurstWrr::pick() {
+std::size_t BurstWrr::pickIndex() {
   assert(!targets_.empty() && "pick() on empty WRR");
   if (emitted_ >= targets_[index_].weight) {
     emitted_ = 0;
     index_ = (index_ + 1) % targets_.size();
   }
   ++emitted_;
-  return targets_[index_].id;
+  return index_;
 }
 
 }  // namespace microedge

@@ -37,8 +37,11 @@ class SmoothWrr {
   std::uint64_t totalWeight() const { return totalWeight_; }
   const std::vector<WrrTarget>& targets() const { return targets_; }
 
+  // Index of the next target into targets(). Precondition: !empty().
+  // The per-frame hot path: no string is touched.
+  std::size_t pickIndex();
   // Next target id. Precondition: !empty().
-  const std::string& pick();
+  const std::string& pick() { return targets_[pickIndex()].id; }
 
   std::uint64_t pickCount(const std::string& id) const;
 
@@ -56,7 +59,9 @@ class BurstWrr {
   Status setTargets(std::vector<WrrTarget> targets);
 
   bool empty() const { return targets_.empty(); }
-  const std::string& pick();
+  const std::vector<WrrTarget>& targets() const { return targets_; }
+  std::size_t pickIndex();
+  const std::string& pick() { return targets_[pickIndex()].id; }
 
  private:
   std::vector<WrrTarget> targets_;

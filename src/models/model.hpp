@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <string>
 
+#include "util/intern.hpp"
 #include "util/time.hpp"
 
 namespace microedge {
@@ -24,6 +25,9 @@ std::string_view toString(ModelTask task);
 
 struct ModelInfo {
   std::string name;
+  // Interned dense handle, assigned by ModelRegistry::add/addOrReplace; the
+  // control plane keys all hot per-TPU state on this instead of the name.
+  ModelId id{};
   ModelTask task = ModelTask::kClassification;
   // Per-frame service time on the TPU with the model fully cached in TPU
   // memory (no swap, no partial-cache streaming).

@@ -1,10 +1,16 @@
 #include "models/registry.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/strings.hpp"
 
 namespace microedge {
+
+std::uint32_t ModelRegistry::slotOf(ModelId id) const {
+  if (!id.valid() || id.value >= slotById_.size()) return kNoSlot;
+  return slotById_[id.value];
+}
 
 Status ModelRegistry::add(ModelInfo info) {
   if (info.name.empty()) return invalidArgument("model name must be non-empty");
@@ -20,40 +26,71 @@ Status ModelRegistry::add(ModelInfo info) {
     return invalidArgument(
         strCat("model ", info.name, ": input dimensions must be positive"));
   }
-  auto [it, inserted] = models_.emplace(info.name, std::move(info));
-  (void)it;
-  if (!inserted) {
-    return alreadyExists(strCat("model ", it->first, " already registered"));
+  info.id = internModel(info.name);
+  if (slotOf(info.id) != kNoSlot) {
+    return alreadyExists(strCat("model ", info.name, " already registered"));
   }
+  if (info.id.value >= slotById_.size()) {
+    slotById_.resize(info.id.value + 1, kNoSlot);
+  }
+  slotById_[info.id.value] = static_cast<std::uint32_t>(infos_.size());
+  infos_.push_back(std::move(info));
   return Status::ok();
 }
 
 void ModelRegistry::addOrReplace(ModelInfo info) {
-  models_[info.name] = std::move(info);
+  info.id = internModel(info.name);
+  std::uint32_t slot = slotOf(info.id);
+  if (slot != kNoSlot) {
+    infos_[slot] = std::move(info);
+    return;
+  }
+  if (info.id.value >= slotById_.size()) {
+    slotById_.resize(info.id.value + 1, kNoSlot);
+  }
+  slotById_[info.id.value] = static_cast<std::uint32_t>(infos_.size());
+  infos_.push_back(std::move(info));
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
-  return models_.count(name) > 0;
+  return slotOf(lookupModel(name)) != kNoSlot;
 }
 
 StatusOr<ModelInfo> ModelRegistry::find(const std::string& name) const {
-  auto it = models_.find(name);
-  if (it == models_.end()) {
+  const ModelInfo* info = findPtr(name);
+  if (info == nullptr) {
     return notFound(strCat("model ", name, " not registered"));
   }
-  return it->second;
+  return *info;
+}
+
+const ModelInfo* ModelRegistry::findPtr(const std::string& name) const {
+  std::uint32_t slot = slotOf(lookupModel(name));
+  return slot == kNoSlot ? nullptr : &infos_[slot];
 }
 
 const ModelInfo& ModelRegistry::at(const std::string& name) const {
-  auto it = models_.find(name);
-  assert(it != models_.end() && "ModelRegistry::at on unknown model");
-  return it->second;
+  const ModelInfo* info = findPtr(name);
+  assert(info != nullptr && "ModelRegistry::at on unknown model");
+  return *info;
+}
+
+const ModelInfo& ModelRegistry::at(ModelId id) const {
+  const ModelInfo* info = byId(id);
+  assert(info != nullptr && "ModelRegistry::at on unknown model id");
+  return *info;
+}
+
+const ModelInfo* ModelRegistry::byId(ModelId id) const {
+  std::uint32_t slot = slotOf(id);
+  return slot == kNoSlot ? nullptr : &infos_[slot];
 }
 
 std::vector<std::string> ModelRegistry::names() const {
   std::vector<std::string> out;
-  out.reserve(models_.size());
-  for (const auto& [name, info] : models_) out.push_back(name);
+  out.reserve(infos_.size());
+  for (const auto& info : infos_) out.push_back(info.name);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -3,12 +3,17 @@
 // Model registry: name -> ModelInfo lookup shared by the control plane (the
 // extended scheduler infers parameter-data size from the requested model
 // name, §4.1) and the data plane (TPU Service resolves service times).
+//
+// Models are stored densely and addressed by interned ModelId handles
+// (util/intern.hpp): the Model Size Rule check at admission resolves a
+// model's parameter size with one vector index instead of a string-map
+// probe. Name-based lookups intern once on entry.
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "models/model.hpp"
+#include "util/intern.hpp"
 #include "util/status.hpp"
 
 namespace microedge {
@@ -16,20 +21,32 @@ namespace microedge {
 class ModelRegistry {
  public:
   // Registers a model; replaces kInvalidArgument fields with an error.
+  // Assigns info.id from the process-wide symbol table.
   Status add(ModelInfo info);
   // Registers or overwrites (used by tests to tweak calibration).
   void addOrReplace(ModelInfo info);
 
   bool contains(const std::string& name) const;
   StatusOr<ModelInfo> find(const std::string& name) const;
-  // Precondition: contains(name). Asserts otherwise.
+  // Like find() but without copying; nullptr when absent. The pointer is
+  // invalidated by the next add/addOrReplace (admission resolves and uses it
+  // within one call).
+  const ModelInfo* findPtr(const std::string& name) const;
+  // Precondition: contains(name) / model registered here. Asserts otherwise.
   const ModelInfo& at(const std::string& name) const;
+  const ModelInfo& at(ModelId id) const;
+  // O(1); nullptr when this registry has no model under that handle.
+  const ModelInfo* byId(ModelId id) const;
 
   std::vector<std::string> names() const;
-  std::size_t size() const { return models_.size(); }
+  std::size_t size() const { return infos_.size(); }
 
  private:
-  std::map<std::string, ModelInfo> models_;
+  std::uint32_t slotOf(ModelId id) const;
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  std::vector<ModelInfo> infos_;        // dense, registration order
+  std::vector<std::uint32_t> slotById_;  // global ModelId.value -> slot
 };
 
 }  // namespace microedge

@@ -1,0 +1,46 @@
+#include "util/intern.hpp"
+
+#include <cassert>
+
+namespace microedge {
+
+std::uint32_t Interner::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(names_.size());
+  assert(id != kInvalid && "interner exhausted u32 id space");
+  auto [inserted, ok] = ids_.emplace(std::string(name), id);
+  (void)ok;
+  names_.push_back(&inserted->first);
+  return id;
+}
+
+std::uint32_t Interner::lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalid : it->second;
+}
+
+const std::string& Interner::name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < names_.size() && "Interner::name on unknown id");
+  return *names_[id];
+}
+
+std::size_t Interner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+Interner& modelInterner() {
+  static Interner table;
+  return table;
+}
+
+Interner& tpuInterner() {
+  static Interner table;
+  return table;
+}
+
+}  // namespace microedge

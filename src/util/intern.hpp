@@ -1,0 +1,95 @@
+#pragma once
+
+// Interned dense identifiers for control-plane hot paths.
+//
+// Admission, reclamation and routing used to key every per-TPU and per-model
+// probe on heap-allocated std::string ids (map<string, ...> in TpuState, the
+// registry and the LB service). At 100k-TPU scale those string compares and
+// node allocations dominate the scan. A process-wide symbol table interns
+// each distinct id once and hands out a dense u32 handle; all hot state is
+// then vectors indexed (or small dense lists keyed) by handle, and the
+// public string-based APIs remain as thin wrappers that intern on entry.
+//
+// Handles are append-only for the process lifetime, so a ModelId/TpuId can
+// be cached freely (in allocations, LB configs, benchmark fixtures) and
+// never dangles. The tables are mutex-guarded: interning happens on the
+// control plane (admission, registration), never per frame.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace microedge {
+
+class Interner {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  // Returns the existing handle for `name` or assigns the next dense one.
+  std::uint32_t intern(std::string_view name);
+  // Returns kInvalid if `name` was never interned (no insertion).
+  std::uint32_t lookup(std::string_view name) const;
+  // Precondition: `id` was returned by intern(). The reference is stable for
+  // the process lifetime.
+  const std::string& name(std::uint32_t id) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  // Pointers into ids_ keys: stable across rehash (node-based buckets).
+  std::vector<const std::string*> names_;
+};
+
+// Typed u32 handles so a TPU handle cannot be used where a model handle is
+// expected. Default-constructed handles are invalid ("no id").
+struct ModelId {
+  std::uint32_t value = Interner::kInvalid;
+  constexpr bool valid() const { return value != Interner::kInvalid; }
+  friend constexpr bool operator==(ModelId a, ModelId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(ModelId a, ModelId b) {
+    return a.value != b.value;
+  }
+};
+
+struct TpuId {
+  std::uint32_t value = Interner::kInvalid;
+  constexpr bool valid() const { return value != Interner::kInvalid; }
+  friend constexpr bool operator==(TpuId a, TpuId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(TpuId a, TpuId b) {
+    return a.value != b.value;
+  }
+};
+
+// Process-wide symbol tables, one per id domain.
+Interner& modelInterner();
+Interner& tpuInterner();
+
+inline ModelId internModel(std::string_view name) {
+  return ModelId{modelInterner().intern(name)};
+}
+inline ModelId lookupModel(std::string_view name) {
+  return ModelId{modelInterner().lookup(name)};
+}
+inline const std::string& modelName(ModelId id) {
+  return modelInterner().name(id.value);
+}
+
+inline TpuId internTpu(std::string_view name) {
+  return TpuId{tpuInterner().intern(name)};
+}
+inline TpuId lookupTpu(std::string_view name) {
+  return TpuId{tpuInterner().lookup(name)};
+}
+inline const std::string& tpuName(TpuId id) {
+  return tpuInterner().name(id.value);
+}
+
+}  // namespace microedge

@@ -92,6 +92,49 @@ TEST_F(ReclamationTest, ReleaseNow) {
   EXPECT_EQ(reclamation_->reclaimedCount(), 1u);
 }
 
+TEST_F(ReclamationTest, ReclaimUpdatesPackingIndexInPlace) {
+  // Pod death -> pollOnce must surface the freed units through the pool's
+  // incremental indexes, not just the TpuState loads.
+  Allocation a = admitPod(1, 0.9);
+  ASSERT_EQ(a.shares.size(), 1u);
+  const std::string victimTpu = a.shares[0].tpuId;
+  // Occupy the other two TPUs as well so no TPU has >= 950 milli free.
+  admitPod(2, 0.9);
+  admitPod(3, 0.9);
+  ASSERT_EQ(pool_.firstWithResidualAtLeast(TpuUnit::fromMilli(950)),
+            TpuPool::npos);
+
+  reclamation_->pollOnce([](std::uint64_t uid) { return uid != 1; });
+
+  // The freed TPU is immediately visible via the segment tree...
+  std::uint32_t freed = pool_.firstWithResidualAtLeast(TpuUnit::fromMilli(950));
+  ASSERT_NE(freed, TpuPool::npos);
+  EXPECT_EQ(pool_.tpus()[freed].id(), victimTpu);
+  EXPECT_TRUE(pool_.indexConsistent());
+
+  // ...and a re-admission lands on it.
+  auto result =
+      admission_->admit(9, zoo::kMobileNetV1, TpuUnit::fromMilli(950));
+  ASSERT_TRUE(result.isOk());
+  ASSERT_EQ(result->allocation.shares.size(), 1u);
+  EXPECT_EQ(result->allocation.shares[0].tpuId, victimTpu);
+  EXPECT_TRUE(pool_.indexConsistent());
+}
+
+TEST_F(ReclamationTest, PurgeAfterReclaimKeepsIndexConsistent) {
+  admitPod(1, 0.5);
+  reclamation_->pollOnce([](std::uint64_t) { return false; });
+  TpuState* tpu = pool_.find("tpu-0");
+  ASSERT_NE(tpu, nullptr);
+  // The model lingers with zero references; purging it touches the resident
+  // set but not the load, so the indexes must stay untouched and consistent.
+  ASSERT_EQ(tpu->residentOrder().size(), 1u);
+  tpu->purgeDeadModels();
+  EXPECT_TRUE(tpu->residentOrder().empty());
+  EXPECT_EQ(tpu->liveModelCount(), 0u);
+  EXPECT_TRUE(pool_.indexConsistent());
+}
+
 TEST_F(ReclamationTest, CapacityIsReusableAfterReclaim) {
   // Fill the pool, kill everything, refill — the need-basis allocation model
   // from §2 (cameras come and go).

@@ -103,6 +103,121 @@ TEST(TpuPoolTest, AddRemoveFind) {
   EXPECT_EQ(pool.size(), 1u);
 }
 
+TEST_F(TpuStateTest, PurgeDeadModelsKeepsLiveRefsAndCounts) {
+  tpu_.addAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.2));
+  tpu_.addAllocation(zoo::kUNetV2, TpuUnit::fromDouble(0.2));
+  tpu_.addAllocation(zoo::kMobileNetV2, TpuUnit::fromDouble(0.2));
+  ASSERT_TRUE(
+      tpu_.removeAllocation(zoo::kUNetV2, TpuUnit::fromDouble(0.2)).isOk());
+  EXPECT_EQ(tpu_.liveModelCount(), 2u);
+  EXPECT_EQ(tpu_.residentOrder().size(), 3u);
+  tpu_.purgeDeadModels();
+  // Only the zero-reference model is evicted; live refs keep their counts
+  // and first-touch order.
+  EXPECT_EQ(tpu_.residentOrder(),
+            (std::vector<std::string>{zoo::kMobileNetV1, zoo::kMobileNetV2}));
+  EXPECT_EQ(tpu_.refCount(zoo::kMobileNetV1), 1);
+  EXPECT_EQ(tpu_.liveModelCount(), 2u);
+  EXPECT_EQ(tpu_.currentLoad().milli(), 400);
+}
+
+TEST_F(TpuStateTest, PurgeOnEmptyStateIsNoop) {
+  tpu_.purgeDeadModels();
+  EXPECT_TRUE(tpu_.residentOrder().empty());
+  EXPECT_EQ(tpu_.liveModelCount(), 0u);
+}
+
+TEST_F(TpuStateTest, ModelIdAndStringApisAgree) {
+  ModelId id = zoo_.at(zoo::kMobileNetV1).id;
+  ASSERT_TRUE(id.valid());
+  tpu_.addAllocation(id, TpuUnit::fromDouble(0.3));
+  EXPECT_TRUE(tpu_.hasModel(zoo::kMobileNetV1));
+  EXPECT_TRUE(tpu_.hasModel(id));
+  EXPECT_EQ(tpu_.refCount(zoo::kMobileNetV1), tpu_.refCount(id));
+  ASSERT_TRUE(
+      tpu_.removeAllocation(zoo::kMobileNetV1, TpuUnit::fromDouble(0.3))
+          .isOk());
+  EXPECT_FALSE(tpu_.hasModel(id));
+}
+
+TEST(TpuPoolTest, IndexTracksDirectMutations) {
+  ModelRegistry zoo = zoo::standardZoo();
+  TpuPool pool;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.addTpu("tpu-" + std::to_string(i), 6.9).isOk());
+  }
+  // Mutating a TpuState through the pool (the reclamation/defrag pattern)
+  // must keep the incremental indexes in sync without an explicit rebuild.
+  pool.find("tpu-1")->addAllocation(zoo::kMobileNetV1,
+                                    TpuUnit::fromMilli(800));
+  pool.find("tpu-2")->addAllocation(zoo::kMobileNetV1,
+                                    TpuUnit::fromMilli(400));
+  EXPECT_TRUE(pool.indexConsistent());
+  EXPECT_EQ(pool.firstWithResidualAtLeast(TpuUnit::fromMilli(700)), 0u);
+  EXPECT_EQ(pool.firstWithResidualAtLeast(TpuUnit::fromMilli(700), 1), 3u);
+  EXPECT_EQ(pool.firstWithResidualAtLeast(TpuUnit::fromMilli(600), 1), 2u);
+  ASSERT_TRUE(pool.find("tpu-1")
+                  ->removeAllocation(zoo::kMobileNetV1, TpuUnit::fromMilli(800))
+                  .isOk());
+  EXPECT_EQ(pool.firstWithResidualAtLeast(TpuUnit::fromMilli(601), 1), 1u);
+  EXPECT_TRUE(pool.indexConsistent());
+}
+
+TEST(TpuPoolTest, IndexSurvivesRemoveCopyAndMove) {
+  ModelRegistry zoo = zoo::standardZoo();
+  TpuPool pool;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.addTpu("tpu-" + std::to_string(i), 6.9).isOk());
+  }
+  pool.find("tpu-3")->addAllocation(zoo::kMobileNetV1, TpuUnit::fromMilli(900));
+  ASSERT_TRUE(pool.removeTpu("tpu-1").isOk());
+  EXPECT_TRUE(pool.indexConsistent());
+
+  // Copies (the defragmenter's rollback snapshot) carry a working index and
+  // stay independent of the original.
+  TpuPool copy = pool;
+  EXPECT_TRUE(copy.indexConsistent());
+  copy.find("tpu-0")->addAllocation(zoo::kMobileNetV1, TpuUnit::fromMilli(500));
+  EXPECT_TRUE(copy.indexConsistent());
+  EXPECT_TRUE(pool.find("tpu-0")->currentLoad().isZero());
+  EXPECT_TRUE(pool.indexConsistent());
+
+  TpuPool moved = std::move(copy);
+  EXPECT_TRUE(moved.indexConsistent());
+  EXPECT_EQ(moved.find("tpu-0")->currentLoad().milli(), 500);
+}
+
+TEST(TpuPoolTest, ScanCursorOrders) {
+  ModelRegistry zoo = zoo::standardZoo();
+  TpuPool pool;
+  const int loads[] = {300, 700, 100, 900};  // residuals 700 300 900 100
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.addTpu("tpu-" + std::to_string(i), 6.9).isOk());
+    pool.tpus()[static_cast<std::size_t>(i)].addAllocation(
+        zoo::kMobileNetV1, TpuUnit::fromMilli(loads[i]));
+  }
+  auto collect = [&](PackingStrategy strategy, int minMilli,
+                     std::size_t from = 0) {
+    std::vector<std::uint32_t> order;
+    auto cursor = pool.scan(strategy, TpuUnit::fromMilli(minMilli), from);
+    for (std::uint32_t p = cursor.next(); p != TpuPool::npos; p = cursor.next())
+      order.push_back(p);
+    return order;
+  };
+  EXPECT_EQ(collect(PackingStrategy::kFirstFit, 300),
+            (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(collect(PackingStrategy::kNextFit, 300, 2),
+            (std::vector<std::uint32_t>{2}));
+  // Best-Fit: tightest residual first; Worst-Fit: emptiest first.
+  EXPECT_EQ(collect(PackingStrategy::kBestFit, 100),
+            (std::vector<std::uint32_t>{3, 1, 0, 2}));
+  EXPECT_EQ(collect(PackingStrategy::kWorstFit, 100),
+            (std::vector<std::uint32_t>{2, 0, 1, 3}));
+  // A request larger than one TPU yields no single-TPU candidates.
+  EXPECT_TRUE(collect(PackingStrategy::kBestFit, 1200).empty());
+  EXPECT_TRUE(collect(PackingStrategy::kWorstFit, 1200).empty());
+}
+
 TEST(TpuPoolTest, Aggregates) {
   ModelRegistry zoo = zoo::standardZoo();
   TpuPool pool;
