@@ -1,0 +1,203 @@
+// google-benchmark microbenchmark for the per-frame data-plane fast path:
+// TpuClient -> LB -> transport -> TPU Service -> device -> response ->
+// completion, end to end through the simulator.
+//
+// Every reproduced figure (Fig. 5/6, the ablations) pushes millions of
+// frames through this exact pipeline, so its per-frame overhead bounds how
+// much simulated traffic a wall-second can replay. The benchmark drives
+// 1..64 closed-loop camera streams (one outstanding frame each, the next
+// frame submitted from the completion callback) over an 8-tRPi cluster with
+// the model pre-loaded everywhere — the steady state the figure harnesses
+// sit in.
+//
+// Like bench_micro_sim, the binary overrides global operator new/delete with
+// a counting allocator so "zero heap allocations per steady-state frame" is
+// measured, not assumed: BM_DataplaneFrames reports allocs_per_frame, and
+// BM_DataplaneSteadyAllocFree hard-aborts on any steady-state allocation
+// (the CI bench smoke runs it, guarding the property against regressions).
+//
+// Emit machine-readable results with bench/run_bench.sh
+// (-> BENCH_dataplane.json).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "models/zoo.hpp"
+#include "util/strings.hpp"
+
+// --- Counting allocator ------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocCount{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace microedge {
+namespace {
+
+std::uint64_t allocsNow() {
+  return g_allocCount.load(std::memory_order_relaxed);
+}
+
+constexpr int kTRpis = 8;
+constexpr int kVRpis = 8;
+
+// Matches ClusterTopology's node/TPU naming ("tpu-00", "vrpi-03", ...).
+std::string indexName(const char* prefix, int i) {
+  return strCat(prefix, i < 10 ? "0" : "", i);
+}
+
+// One closed-loop camera stream: exactly one frame outstanding; the
+// completion callback submits the next frame until the budget drains.
+struct Stream {
+  TpuClient* client = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t completed = 0;
+
+  void pump() {
+    if (remaining == 0) return;
+    --remaining;
+    (void)client->invoke([this](const FrameBreakdown&) {
+      ++completed;
+      pump();
+    });
+  }
+};
+
+// Cluster fixture shared by both benchmarks: 8 tRPis (1 TPU each) + 8
+// vRPis, mobilenet-v1 resident on every TPU, `streams` clients spread
+// round-robin over the vRPis, each fanning out over all 8 TPUs.
+struct Fixture {
+  ModelRegistry zoo;
+  Simulator sim;
+  ClusterTopology topo;
+  DataPlane dataPlane;
+  std::vector<std::unique_ptr<TpuClient>> clients;
+  std::vector<Stream> streams;
+
+  static TopologySpec spec() {
+    TopologySpec s;
+    s.vRpiCount = kVRpis;
+    s.tRpiCount = kTRpis;
+    return s;
+  }
+
+  explicit Fixture(int streamCount)
+      : zoo(zoo::standardZoo()), topo(sim, zoo, spec()),
+        dataPlane(sim, topo, zoo) {
+    LbConfig lb;
+    for (int t = 0; t < kTRpis; ++t) {
+      const std::string tpuId = indexName("tpu-", t);
+      LoadCommand load{tpuId, {zoo::kMobileNetV1}, {}};
+      if (!dataPlane.executeLoad(load).isOk()) std::abort();
+      lb.weights.push_back(LbWeight{tpuId, 100});
+    }
+    sim.run();
+    streams.resize(streamCount);
+    for (int i = 0; i < streamCount; ++i) {
+      clients.push_back(dataPlane.makeClient(indexName("vrpi-", i % kVRpis),
+                                             zoo::kMobileNetV1));
+      if (!clients.back()->configureLb(lb).isOk()) std::abort();
+      streams[i].client = clients.back().get();
+    }
+  }
+
+  // Runs `frames` frames per stream to completion; returns total completed.
+  std::uint64_t run(std::uint64_t frames) {
+    for (Stream& s : streams) s.remaining = frames;
+    for (Stream& s : streams) s.pump();
+    sim.run();
+    std::uint64_t total = 0;
+    for (Stream& s : streams) total += s.completed;
+    return total;
+  }
+};
+
+// Frames/sec end-to-end at 1..64 streams. items_per_second is the headline
+// number; allocs_per_frame tracks the heap traffic of the measured phase
+// (after a warm-up batch that sizes the pools, rings and the event arena).
+void BM_DataplaneFrames(benchmark::State& state) {
+  const int streamCount = static_cast<int>(state.range(0));
+  const std::uint64_t framesPerStream = 2000;
+  std::uint64_t frames = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<Fixture>(streamCount);
+    fx->run(64);  // warm-up: size pools/rings/event arena, pay swap costs
+    std::uint64_t completedBefore = 0;
+    for (Stream& s : fx->streams) completedBefore += s.completed;
+    std::uint64_t before = allocsNow();
+    state.ResumeTiming();
+    std::uint64_t total = fx->run(framesPerStream);
+    state.PauseTiming();
+    allocs += allocsNow() - before;
+    frames += total - completedBefore;
+    fx.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["allocs_per_frame"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(frames ? frames : 1));
+}
+BENCHMARK(BM_DataplaneFrames)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// The zero-allocation property itself, asserted: after warm-up, a full
+// steady-state batch must not touch the heap at all. Aborting (rather than
+// SkipWithError) makes the CI bench smoke fail hard on regression.
+void BM_DataplaneSteadyAllocFree(benchmark::State& state) {
+  const int streamCount = static_cast<int>(state.range(0));
+  const std::uint64_t framesPerStream = 500;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<Fixture>(streamCount);
+    fx->run(64);
+    std::uint64_t completedBefore = 0;
+    for (Stream& s : fx->streams) completedBefore += s.completed;
+    std::uint64_t before = allocsNow();
+    state.ResumeTiming();
+    std::uint64_t total = fx->run(framesPerStream);
+    state.PauseTiming();
+    std::uint64_t delta = allocsNow() - before;
+    if (delta != 0) {
+      std::fprintf(stderr,
+                   "FATAL: %llu heap allocations in steady-state frame path "
+                   "(%d streams, %llu frames) — the data plane must be "
+                   "allocation-free\n",
+                   static_cast<unsigned long long>(delta), streamCount,
+                   static_cast<unsigned long long>(total - completedBefore));
+      std::abort();
+    }
+    frames += total - completedBefore;
+    fx.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["allocs_per_frame"] = benchmark::Counter(0.0);
+}
+BENCHMARK(BM_DataplaneSteadyAllocFree)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace microedge

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json]
-#   BUILD_DIR=build   build tree containing bench/bench_micro_sim and
-#                     bench/bench_micro_scheduler
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json]
+#   BUILD_DIR=build   build tree containing bench/bench_micro_sim,
+#                     bench/bench_micro_scheduler and
+#                     bench/bench_micro_dataplane
 #   REPS=1            benchmark repetitions
 #
-# The JSON lands at BENCH_sim.json / BENCH_sched.json by default so the perf
-# trajectory of the event engine and the admission control plane is tracked
-# in-repo from PR to PR.
+# The JSON lands at BENCH_sim.json / BENCH_sched.json / BENCH_dataplane.json
+# by default so the perf trajectory of the event engine, the admission
+# control plane and the per-frame data plane is tracked in-repo from PR to
+# PR. The dataplane suite also hard-aborts if a steady-state frame performs
+# any heap allocation, so a regression of the allocation-free fast path
+# fails the run rather than just shifting a number.
 
 set -euo pipefail
 
@@ -17,6 +21,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 SIM_OUT="${1:-BENCH_sim.json}"
 SCHED_OUT="${2:-BENCH_sched.json}"
+DP_OUT="${3:-BENCH_dataplane.json}"
 REPS="${REPS:-1}"
 
 run_suite() {
@@ -35,3 +40,4 @@ run_suite() {
 
 run_suite "${BUILD_DIR}/bench/bench_micro_sim" "${SIM_OUT}"
 run_suite "${BUILD_DIR}/bench/bench_micro_scheduler" "${SCHED_OUT}"
+run_suite "${BUILD_DIR}/bench/bench_micro_dataplane" "${DP_OUT}"

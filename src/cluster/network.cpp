@@ -5,15 +5,12 @@ namespace microedge {
 SimDuration NetworkModel::transferLatency(const std::string& fromNode,
                                           const std::string& toNode,
                                           std::size_t bytes) const {
-  if (fromNode == toNode) return config_.loopbackLatency;
-  double seconds =
-      static_cast<double>(bytes) / (config_.effectiveBandwidthMBps * 1e6);
-  return config_.baseLatency + secondsF(seconds);
+  return transferLatency(internNode(fromNode), internNode(toNode), bytes);
 }
 
 SimDuration NetworkModel::controlLatency(const std::string& fromNode,
                                          const std::string& toNode) const {
-  return fromNode == toNode ? config_.loopbackLatency : config_.baseLatency;
+  return controlLatency(internNode(fromNode), internNode(toNode));
 }
 
 }  // namespace microedge

@@ -12,10 +12,16 @@
 // reproduce the 8 ms figure. Switched full-duplex fabric => flows between
 // distinct node pairs do not contend; same-node communication takes the
 // loopback fast path.
+//
+// Hot path: endpoints are dense interned NodeId handles (util/intern.hpp),
+// so resolving a latency is an integer compare plus one multiply — no
+// string-pair probe per frame. The string overloads intern on entry and are
+// kept for control-plane and test convenience.
 
 #include <cstddef>
 #include <string>
 
+#include "util/intern.hpp"
 #include "util/time.hpp"
 
 namespace microedge {
@@ -33,21 +39,36 @@ struct NetworkConfig {
 
 class NetworkModel {
  public:
-  explicit NetworkModel(NetworkConfig config = {}) : config_(config) {}
+  explicit NetworkModel(NetworkConfig config = {})
+      : config_(config),
+        secondsPerByte_(1.0 / (config.effectiveBandwidthMBps * 1e6)) {}
 
   const NetworkConfig& config() const { return config_; }
 
-  // One-way latency for `bytes` between two nodes.
+  // One-way latency for `bytes` between two nodes (dense-handle fast path).
+  SimDuration transferLatency(NodeId fromNode, NodeId toNode,
+                              std::size_t bytes) const {
+    if (fromNode == toNode) return config_.loopbackLatency;
+    return config_.baseLatency +
+           secondsF(static_cast<double>(bytes) * secondsPerByte_);
+  }
+
+  // Latency of a small control message (invoke response metadata, load acks).
+  SimDuration controlLatency(NodeId fromNode, NodeId toNode) const {
+    return fromNode == toNode ? config_.loopbackLatency : config_.baseLatency;
+  }
+
+  // String wrappers: intern on entry (interned names compare equal iff the
+  // strings do, so results are identical to the handle path bit for bit).
   SimDuration transferLatency(const std::string& fromNode,
                               const std::string& toNode,
                               std::size_t bytes) const;
-
-  // Latency of a small control message (invoke response metadata, load acks).
   SimDuration controlLatency(const std::string& fromNode,
                              const std::string& toNode) const;
 
  private:
   NetworkConfig config_;
+  double secondsPerByte_;
 };
 
 }  // namespace microedge

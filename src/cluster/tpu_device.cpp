@@ -19,15 +19,19 @@ SimDuration transferTime(double megabytes, double bandwidthMBps) {
 
 TpuDevice::TpuDevice(Simulator& sim, const ModelRegistry& registry,
                      std::string id, TpuHardwareConfig config)
-    : sim_(sim), registry_(registry), id_(std::move(id)), config_(config) {}
+    : sim_(sim), registry_(registry), id_(std::move(id)),
+      handle_(internTpu(id_)), config_(config) {}
 
 Status TpuDevice::loadModels(const std::vector<std::string>& names) {
   if (names.empty()) return invalidArgument("loadModels: empty composite");
+  std::vector<ModelId> composite;
+  composite.reserve(names.size());
   double total = 0.0;
   for (const auto& n : names) {
-    auto info = registry_.find(n);
-    if (!info.isOk()) return info.status();
+    const ModelInfo* info = registry_.findPtr(n);
+    if (info == nullptr) return notFound(strCat("model ", n, " not registered"));
     total += info->paramSizeMb;
+    composite.push_back(info->id);
   }
   // A composite larger than parameter memory is legal (Coral partially
   // caches low-priority members), but the control plane's Model Size Rule
@@ -41,18 +45,19 @@ Status TpuDevice::loadModels(const std::vector<std::string>& names) {
   // The load is processed in FIFO order with inferences: pushing the new
   // composite occupies the device for the transfer time.
   Pending job;
-  job.model.clear();  // empty model marks a load job
+  job.model = ModelId{};  // invalid id marks a load job
   job.enqueueTime = sim_.now();
   job.done = nullptr;
-  loadQueue_.push_back(names);
+  loadQueue_.push_back(std::move(composite));
   queue_.push_back(std::move(job));
   if (!busy_) startNext();
   return Status::ok();
 }
 
-Status TpuDevice::invoke(const std::string& model, InvokeCallback done) {
-  if (!registry_.contains(model)) {
-    return notFound(strCat("invoke: unknown model ", model));
+Status TpuDevice::invoke(ModelId model, InvokeCallback done) {
+  if (registry_.byId(model) == nullptr) {
+    return notFound(strCat("invoke: unknown model ",
+                           model.valid() ? modelName(model) : "<invalid id>"));
   }
   Pending p;
   p.model = model;
@@ -63,22 +68,47 @@ Status TpuDevice::invoke(const std::string& model, InvokeCallback done) {
   return Status::ok();
 }
 
+Status TpuDevice::invoke(const std::string& model, InvokeCallback done) {
+  ModelId id = lookupModel(model);
+  if (!id.valid()) {
+    return notFound(strCat("invoke: unknown model ", model));
+  }
+  return invoke(id, std::move(done));
+}
+
+int TpuDevice::residentIndex(ModelId model) const {
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    if (resident_[i] == model) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 bool TpuDevice::isResident(const std::string& model) const {
-  return std::find(resident_.begin(), resident_.end(), model) !=
-         resident_.end();
+  ModelId id = lookupModel(model);
+  return id.valid() && isResident(id);
+}
+
+std::vector<std::string> TpuDevice::residentModels() const {
+  std::vector<std::string> out;
+  out.reserve(resident_.size());
+  for (ModelId id : resident_) out.push_back(modelName(id));
+  return out;
 }
 
 double TpuDevice::residentParamMb() const {
   double total = 0.0;
-  for (const auto& m : resident_) total += registry_.at(m).paramSizeMb;
+  for (ModelId id : resident_) total += registry_.at(id).paramSizeMb;
   return total;
 }
 
+double TpuDevice::cachedFraction(ModelId model) const {
+  int index = residentIndex(model);
+  return index < 0 ? 0.0 : cachedFraction_[index];
+}
+
 double TpuDevice::cachedFraction(const std::string& model) const {
-  for (std::size_t i = 0; i < resident_.size(); ++i) {
-    if (resident_[i] == model) return cachedFraction_[i];
-  }
-  return 0.0;
+  ModelId id = lookupModel(model);
+  return id.valid() ? cachedFraction(id) : 0.0;
 }
 
 SimDuration TpuDevice::busyTime() const {
@@ -100,48 +130,50 @@ double TpuDevice::utilizationSince(SimDuration busyAtWindowStart,
 
 void TpuDevice::recomputeCaching() {
   cachedFraction_.assign(resident_.size(), 0.0);
+  streamPenalty_.assign(resident_.size(), SimDuration::zero());
   double remaining = config_.paramMemoryMb;
   for (std::size_t i = 0; i < resident_.size(); ++i) {
     double size = registry_.at(resident_[i]).paramSizeMb;
     double cached = std::min(size, std::max(remaining, 0.0));
-    cachedFraction_[i] = size > 0.0 ? cached / size : 1.0;
+    double fraction = size > 0.0 ? cached / size : 1.0;
+    cachedFraction_[i] = fraction;
+    // Partial caching streams the uncached remainder on every inference;
+    // precomputing it here keeps the per-invoke path free of double math.
+    if (fraction < 1.0) {
+      streamPenalty_[i] = transferTime(size * (1.0 - fraction),
+                                       config_.hostToTpuBandwidthMBps);
+    }
     remaining -= size;
   }
 }
 
-SimDuration TpuDevice::streamingPenalty(const std::string& model) const {
-  double fraction = cachedFraction(model);
-  if (fraction >= 1.0) return SimDuration::zero();
-  double uncachedMb = registry_.at(model).paramSizeMb * (1.0 - fraction);
-  return transferTime(uncachedMb, config_.hostToTpuBandwidthMBps);
-}
-
-SimDuration TpuDevice::computeServiceTime(const std::string& model,
-                                          bool* paidSwap,
+SimDuration TpuDevice::computeServiceTime(ModelId model, bool* paidSwap,
                                           bool* paidResidentSwitch) {
   const ModelInfo& info = registry_.at(model);
   *paidSwap = false;
   *paidResidentSwitch = false;
   SimDuration service = info.inferenceLatency;
-  if (!isResident(model)) {
+  int index = residentIndex(model);
+  if (index < 0) {
     // Full swap: the model's parameters replace the resident set. This is
     // exactly the overhead the Model Size Rule + co-compiling avoid.
     *paidSwap = true;
     ++swaps_;
-    resident_ = {model};
+    resident_.assign(1, model);
     recomputeCaching();
+    index = 0;
     service += config_.swapOverhead +
                transferTime(std::min(info.paramSizeMb, config_.paramMemoryMb),
                             config_.hostToTpuBandwidthMBps);
-    lastExecutedModel_ = model;
-  } else if (lastExecutedModel_ != model) {
+    lastExecuted_ = model;
+  } else if (lastExecuted_ != model) {
     *paidResidentSwitch = true;
     ++residentSwitches_;
     service += config_.residentSwitchPenalty;
-    lastExecutedModel_ = model;
+    lastExecuted_ = model;
   }
   // Partial caching streams the uncached remainder on every inference.
-  service += streamingPenalty(model);
+  service += streamPenalty_[index];
   return service;
 }
 
@@ -156,7 +188,7 @@ void TpuDevice::startNext() {
   stats.enqueueTime = job.enqueueTime;
   stats.startTime = sim_.now();
 
-  if (job.model.empty()) {
+  if (!job.model.valid()) {
     // Load job: install the next queued composite.
     assert(!loadQueue_.empty());
     resident_ = std::move(loadQueue_.front());
@@ -164,7 +196,7 @@ void TpuDevice::startNext() {
     recomputeCaching();
     // The load leaves the highest-priority member set up for execution; the
     // first invoke of that model pays no context switch.
-    lastExecutedModel_ = resident_.empty() ? std::string() : resident_.front();
+    lastExecuted_ = resident_.empty() ? ModelId{} : resident_.front();
     service = config_.swapOverhead +
               transferTime(std::min(residentParamMb(), config_.paramMemoryMb),
                            config_.hostToTpuBandwidthMBps);

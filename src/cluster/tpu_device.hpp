@@ -16,15 +16,23 @@
 //    the parameter memory, the lowest-priority models are partially cached
 //    and stream the uncached remainder from the host on *every* inference;
 //  * exact busy-time integration for utilization measurements.
+//
+// Hot path (per-frame Invoke): models are dense interned ModelId handles,
+// the FIFO is a recycled ring of {ModelId, enqueue time, SBO callback}
+// entries, and the resident set is a small ModelId vector with per-member
+// streaming penalties precomputed at load time — no strings, no maps, no
+// heap allocation in steady state. The string overloads intern/lookup on
+// entry and remain for control-plane and test convenience.
 
 #include <cstddef>
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "models/registry.hpp"
 #include "sim/simulator.hpp"
+#include "util/event_fn.hpp"
+#include "util/intern.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/status.hpp"
 
 namespace microedge {
@@ -55,7 +63,9 @@ class TpuDevice {
     bool paidSwap = false;
     bool paidResidentSwitch = false;
   };
-  using InvokeCallback = std::function<void(const InvokeStats&)>;
+  // Move-only SBO callable: completions ride the device FIFO without a
+  // std::function heap allocation per invoke.
+  using InvokeCallback = MoveFn<void(const InvokeStats&)>;
 
   TpuDevice(Simulator& sim, const ModelRegistry& registry, std::string id,
             TpuHardwareConfig config = {});
@@ -64,6 +74,8 @@ class TpuDevice {
   TpuDevice& operator=(const TpuDevice&) = delete;
 
   const std::string& id() const { return id_; }
+  // Dense process-wide handle for this TPU (interned at construction).
+  TpuId handle() const { return handle_; }
   const TpuHardwareConfig& config() const { return config_; }
 
   // Installs a co-compiled composite as the resident set; priority order is
@@ -75,13 +87,20 @@ class TpuDevice {
 
   // Enqueues one inference. The callback fires at completion time with the
   // timing breakdown. Unknown models are rejected immediately.
+  Status invoke(ModelId model, InvokeCallback done);
+  // String wrapper: resolves the dense handle, then takes the path above.
   Status invoke(const std::string& model, InvokeCallback done);
 
   // --- Introspection -------------------------------------------------------
+  bool isResident(ModelId model) const { return residentIndex(model) >= 0; }
   bool isResident(const std::string& model) const;
-  const std::vector<std::string>& residentModels() const { return resident_; }
+  const std::vector<ModelId>& residentIds() const { return resident_; }
+  // Resident model names in priority order (materialized; introspection
+  // convenience, not a hot path).
+  std::vector<std::string> residentModels() const;
   double residentParamMb() const;
   // Fraction of `model`'s parameters cached on-chip ([0,1]); 0 if absent.
+  double cachedFraction(ModelId model) const;
   double cachedFraction(const std::string& model) const;
 
   std::size_t queueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
@@ -98,27 +117,30 @@ class TpuDevice {
 
  private:
   struct Pending {
-    std::string model;
-    SimTime enqueueTime;
+    ModelId model{};  // invalid id marks a load job
+    SimTime enqueueTime{};
     InvokeCallback done;
   };
 
   void startNext();
   void onCurrentComplete();
-  SimDuration computeServiceTime(const std::string& model, bool* paidSwap,
+  SimDuration computeServiceTime(ModelId model, bool* paidSwap,
                                  bool* paidResidentSwitch);
-  SimDuration streamingPenalty(const std::string& model) const;
+  // Index of `model` in the resident set, -1 if absent (small dense scan
+  // over u32 handles — composites hold a handful of models).
+  int residentIndex(ModelId model) const;
   void recomputeCaching();
 
   Simulator& sim_;
   const ModelRegistry& registry_;
   std::string id_;
+  TpuId handle_{};
   TpuHardwareConfig config_;
 
-  std::deque<Pending> queue_;
-  // Composites for queued load jobs (a Pending with an empty model name
+  RingQueue<Pending> queue_;
+  // Composites for queued load jobs (a Pending with an invalid model id
   // consumes the front entry), in FIFO correspondence with queue_.
-  std::deque<std::vector<std::string>> loadQueue_;
+  RingQueue<std::vector<ModelId>> loadQueue_;
   bool busy_ = false;
   SimTime currentStart_{};
   SimTime currentEnd_{};
@@ -128,10 +150,13 @@ class TpuDevice {
   InvokeStats currentStats_{};
   InvokeCallback currentDone_;
 
-  // Resident composite, priority order, with per-model cached fraction.
-  std::vector<std::string> resident_;
+  // Resident composite, priority order, with per-model cached fraction and
+  // partial-cache streaming penalty (both recomputed only when the resident
+  // set changes — loadModels or a full swap — never per invoke).
+  std::vector<ModelId> resident_;
   std::vector<double> cachedFraction_;
-  std::string lastExecutedModel_;
+  std::vector<SimDuration> streamPenalty_;
+  ModelId lastExecuted_{};
 
   SimDuration completedBusy_{};
   std::size_t invocations_ = 0;

@@ -8,14 +8,26 @@ DataPlane::DataPlane(Simulator& sim, const ClusterTopology& topology,
                      const ModelRegistry& registry)
     : sim_(sim), registry_(registry), transport_(sim, topology.network()) {
   for (const auto& tpu : topology.tpus()) {
-    services_.emplace(tpu->id(), std::make_unique<TpuService>(
-                                     *tpu, topology.nodeOfTpu(tpu->id())));
+    auto service =
+        std::make_unique<TpuService>(*tpu, topology.nodeOfTpu(tpu->id()));
+    TpuId handle = service->tpu();
+    if (handle.value >= serviceById_.size()) {
+      serviceById_.resize(handle.value + 1, nullptr);
+    }
+    serviceById_[handle.value] = service.get();
+    services_.emplace(tpu->id(), std::move(service));
   }
 }
 
 TpuService* DataPlane::service(const std::string& tpuId) {
   auto it = services_.find(tpuId);
   return it == services_.end() ? nullptr : it->second.get();
+}
+
+TpuService* DataPlane::serviceById(TpuId tpu) {
+  return tpu.valid() && tpu.value < serviceById_.size()
+             ? serviceById_[tpu.value]
+             : nullptr;
 }
 
 std::vector<TpuService*> DataPlane::services() {
@@ -26,7 +38,13 @@ std::vector<TpuService*> DataPlane::services() {
 }
 
 void DataPlane::removeService(const std::string& tpuId) {
-  services_.erase(tpuId);
+  auto it = services_.find(tpuId);
+  if (it == services_.end()) return;
+  TpuId handle = it->second->tpu();
+  if (handle.value < serviceById_.size()) {
+    serviceById_[handle.value] = nullptr;
+  }
+  services_.erase(it);
 }
 
 Status DataPlane::executeLoad(const LoadCommand& command) {
@@ -46,8 +64,7 @@ std::unique_ptr<TpuClient> DataPlane::makeClient(std::string clientNode,
   config.spread = spread;
   return std::make_unique<TpuClient>(
       sim_, registry_, transport_,
-      [this](const std::string& tpuId) { return service(tpuId); },
-      std::move(config));
+      [this](TpuId tpu) { return serviceById(tpu); }, std::move(config));
 }
 
 }  // namespace microedge

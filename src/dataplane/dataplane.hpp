@@ -28,6 +28,9 @@ class DataPlane {
   SimTransport& transport() { return transport_; }
 
   TpuService* service(const std::string& tpuId);
+  // Dense-handle lookup (what per-frame routing uses): one bounds-checked
+  // vector index, no string map probe.
+  TpuService* serviceById(TpuId tpu);
   std::vector<TpuService*> services();
   std::size_t serviceCount() const { return services_.size(); }
 
@@ -48,6 +51,9 @@ class DataPlane {
   const ModelRegistry& registry_;
   SimTransport transport_;
   std::map<std::string, std::unique_ptr<TpuService>> services_;
+  // Indexed by TpuId.value; nullptr where the service was removed or the
+  // handle belongs to another cluster instance.
+  std::vector<TpuService*> serviceById_;
 };
 
 }  // namespace microedge

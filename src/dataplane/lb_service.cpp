@@ -14,6 +14,11 @@ Status LbService::configure(const LbConfig& config) {
                                           : burst_.setTargets(targets);
   if (!s.isOk()) return s;
   lbConfig_ = config;
+  // Hand-built configs (tests, benches) often carry only the string id; the
+  // hot routing path reads the dense handle, so resolve it once here.
+  for (LbWeight& w : lbConfig_.weights) {
+    if (!w.tpu.valid()) w.tpu = internTpu(w.tpuId);
+  }
   configured_ = true;
   routed_ = 0;
   perTarget_.assign(lbConfig_.weights.size(), 0);

@@ -1,111 +1,141 @@
 #include "dataplane/tpu_client.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace microedge {
 
-// One heap allocation per frame carries the whole pipeline: the breakdown
-// being filled in, the model info (resolved once, never re-copied), the
-// routing decision and the user completion. Stage closures capture only
-// {this, shared_ptr} (24 bytes) and so ride inline in their event slots.
-struct TpuClient::InvokeContext {
-  FrameBreakdown breakdown;
-  ModelInfo info;
-  CompletionCallback done;
-  TpuService* service = nullptr;
-  std::string serviceNode;
-};
+const std::string& FrameBreakdown::servedByName() const {
+  static const std::string kEmpty;
+  return servedBy.valid() ? tpuName(servedBy) : kEmpty;
+}
 
 TpuClient::TpuClient(Simulator& sim, const ModelRegistry& registry,
                      SimTransport& transport, Directory directory,
                      Config config)
     : sim_(sim), registry_(registry), transport_(transport),
       directory_(std::move(directory)), config_(std::move(config)),
-      lb_(config_.spread) {}
+      clientNode_(internNode(config_.clientNode)),
+      model_(internModel(config_.model)), lb_(config_.spread) {}
 
 Status TpuClient::invoke(CompletionCallback done) {
   if (stopped_) return failedPrecondition("TPU client is stopped");
   if (!lb_.configured()) {
     return failedPrecondition("TPU client LB not configured");
   }
-  auto model = registry_.find(config_.model);
-  if (!model.isOk()) return model.status();
+  const ModelInfo* info = registry_.byId(model_);
+  if (info == nullptr) {
+    return notFound(strCat("model not registered: ", config_.model));
+  }
 
-  auto ctx = std::make_shared<InvokeContext>();
-  ctx->info = std::move(model).value();
-  ctx->done = std::move(done);
-  ctx->breakdown.frameId = nextFrameId_++;
-  ctx->breakdown.submitted = sim_.now();
-  ctx->breakdown.preprocess = ctx->info.preprocessLatency;
-  ++submitted_;
-
-  // Stage 1: client-side resize to the model's input resolution. (Read the
-  // latency before the capture moves `ctx`: argument order is unspecified.)
-  const SimDuration preprocess = ctx->info.preprocessLatency;
-  sim_.scheduleAfter(preprocess,
-                     [this, ctx = std::move(ctx)] { routeAndSend(ctx); });
-  return Status::ok();
-}
-
-void TpuClient::routeAndSend(const std::shared_ptr<InvokeContext>& ctx) {
-  // Stage 2: route via the pod's LBS and transmit the frame. If the chosen
-  // TPU Service stopped answering (tRPi died between the failure and the
-  // recovery reconfiguring our weights), fail over to the pod's other
+  // Route first: the decision is made at submit time (same LB sequence as
+  // routing after the preprocess delay — the WRR state only advances here),
+  // so a dead target is discovered before any event is scheduled. If the
+  // chosen TPU Service stopped answering (tRPi died between the failure and
+  // the recovery reconfiguring our weights), fail over to the pod's other
   // shares before dropping the frame.
   TpuService* service = nullptr;
   const LbWeight* target = nullptr;
   std::size_t attempts = std::max<std::size_t>(1, lb_.config().weights.size());
   for (std::size_t i = 0; i < attempts && service == nullptr; ++i) {
     target = &lb_.config().weights[lb_.routeIndex()];
-    service = directory_(target->tpuId);
+    service = directory_(target->tpu);
   }
   if (service == nullptr) {
+    ++submitted_;
     ++failed_;
     ME_LOG(kWarning) << "no reachable TPU service for " << config_.model
                      << "; frame dropped";
+    return Status::ok();
+  }
+
+  Handle h = pool_.acquire();
+  InvokeContext* c = pool_.get(h);
+  c->breakdown = FrameBreakdown{};
+  c->breakdown.frameId = nextFrameId_++;
+  c->breakdown.submitted = sim_.now();
+  c->breakdown.preprocess = info->preprocessLatency;
+  c->breakdown.servedBy = target->tpu;
+  c->serviceNode = service->nodeId();
+  c->outputBytes = info->outputBytes;
+  c->postprocessLatency = info->postprocessLatency;
+  c->done = std::move(done);
+  ++submitted_;
+
+  // Stages 1+2 fused: client-side resize to the model's input resolution,
+  // then the request hop. The preprocess stage delays departure
+  // (departAfter) rather than taking its own event; only the wire latency
+  // lands in requestTransmit.
+  c->breakdown.requestTransmit = transport_.send(
+      clientNode_, c->serviceNode, info->inputBytes(),
+      [this, h] { onRequestDelivered(h); },
+      /*departAfter=*/info->preprocessLatency);
+  return Status::ok();
+}
+
+void TpuClient::onRequestDelivered(Handle h) {
+  InvokeContext* c = pool_.get(h);
+  if (c == nullptr) return;  // frame was dropped; stale event
+  // Stage 3: inference on the (serial, run-to-completion) TPU. The service
+  // is re-resolved by dense handle at arrival — if it was removed while the
+  // frame was on the wire, the frame is dropped here instead of touching a
+  // dead instance.
+  TpuService* service = directory_(c->breakdown.servedBy);
+  if (service == nullptr) {
+    ME_LOG(kWarning) << "TPU service " << c->breakdown.servedByName()
+                     << " vanished mid-flight; frame dropped";
+    fail(h);
     return;
   }
-  ctx->breakdown.servedBy = target->tpuId;
-  ctx->service = service;
-  ctx->serviceNode = service->node();
-  ctx->breakdown.requestTransmit = transport_.send(
-      config_.clientNode, ctx->serviceNode, ctx->info.inputBytes(),
-      [this, ctx] { onRequestDelivered(ctx); });
-}
-
-void TpuClient::onRequestDelivered(const std::shared_ptr<InvokeContext>& ctx) {
-  // Stage 3: inference on the (serial, run-to-completion) TPU.
-  Status s = ctx->service->invoke(
-      ctx->info.name, [this, ctx](const TpuDevice::InvokeStats& stats) {
-        ctx->breakdown.queueDelay = stats.queueDelay;
-        ctx->breakdown.inference = stats.serviceTime;
-        // Stage 4: response back to the application pod.
-        ctx->breakdown.responseTransmit = transport_.send(
-            ctx->serviceNode, config_.clientNode, ctx->info.outputBytes,
-            [this, ctx] { onResponseDelivered(ctx); });
-      });
+  Status s = service->invoke(model_, [this, h](const TpuDevice::InvokeStats&
+                                                   stats) {
+    onInvokeDone(h, stats);
+  });
   if (!s.isOk()) {
-    ++failed_;
-    ME_LOG(kWarning) << "invoke on " << ctx->breakdown.servedBy
+    ME_LOG(kWarning) << "invoke on " << c->breakdown.servedByName()
                      << " failed: " << s.toString();
+    fail(h);
   }
 }
 
-void TpuClient::onResponseDelivered(const std::shared_ptr<InvokeContext>& ctx) {
-  // Stage 5: application post-processing.
-  ctx->breakdown.postprocess = ctx->info.postprocessLatency;
-  sim_.scheduleAfter(ctx->info.postprocessLatency,
-                     [this, ctx] { complete(ctx); });
+void TpuClient::onInvokeDone(Handle h, const TpuDevice::InvokeStats& stats) {
+  InvokeContext* c = pool_.get(h);
+  if (c == nullptr) return;
+  c->breakdown.queueDelay = stats.queueDelay;
+  c->breakdown.inference = stats.serviceTime;
+  c->breakdown.postprocess = c->postprocessLatency;
+  // Stages 4+5 fused: response hop back to the application pod, with the
+  // post-processing stage folded into the delivery event (departAfter on
+  // the receive side is symmetric: completion fires at
+  // now + latency + postprocess either way).
+  c->breakdown.responseTransmit = transport_.send(
+      c->serviceNode, clientNode_, c->outputBytes, [this, h] { complete(h); },
+      /*departAfter=*/c->postprocessLatency);
 }
 
-void TpuClient::complete(const std::shared_ptr<InvokeContext>& ctx) {
-  ctx->breakdown.completed = sim_.now();
+void TpuClient::complete(Handle h) {
+  InvokeContext* c = pool_.get(h);
+  if (c == nullptr) return;
+  c->breakdown.completed = sim_.now();
   ++completed_;
-  if (ctx->done) ctx->done(ctx->breakdown);
+  // Release the slot before running the completion: the callback may
+  // re-enter invoke() (closed-loop drivers) and legitimately reuse it.
+  FrameBreakdown result = c->breakdown;
+  CompletionCallback done = std::move(c->done);
+  c->done = nullptr;
+  pool_.release(h);
+  if (done) done(result);
+}
+
+void TpuClient::fail(Handle h) {
+  InvokeContext* c = pool_.get(h);
+  if (c == nullptr) return;
+  ++failed_;
+  c->done = nullptr;
+  pool_.release(h);
 }
 
 }  // namespace microedge

@@ -10,13 +10,24 @@
 // full per-frame latency breakdown (Fig. 7b's four components, plus queueing
 // visibility inside the TPU Service) is reported on completion.
 //
+// Fast path: the per-frame pipeline is heap-allocation-free and string-free
+// in steady state. Frame state lives in a slab pool of InvokeContext slots
+// addressed by generation-checked handles; each pipeline stage captures
+// {this, handle} (16 bytes — inline in its event slot) and re-resolves the
+// context on entry, so a dropped frame's stale events are rejected instead
+// of dereferencing recycled state. Routing, transport and the TPU Service
+// all speak dense interned handles (TpuId / NodeId / ModelId); the client
+// interns its node and model once at construction. The frame takes three
+// simulator events end to end (arrival at the service, device completion,
+// client completion) — preprocess rides the request hop and postprocess the
+// response hop, with identical timestamps to the five-event formulation.
+//
 // Object lifetime: completions reference the client; the experiment harness
 // keeps client objects alive until the simulation drains (a stopped client
 // simply refuses new invokes).
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 
 #include "dataplane/lb_service.hpp"
@@ -24,12 +35,15 @@
 #include "dataplane/transport.hpp"
 #include "models/registry.hpp"
 #include "sim/simulator.hpp"
+#include "util/event_fn.hpp"
+#include "util/intern.hpp"
+#include "util/slab_pool.hpp"
 
 namespace microedge {
 
 struct FrameBreakdown {
   std::uint64_t frameId = 0;
-  std::string servedBy;  // TPU id
+  TpuId servedBy{};  // dense TPU handle; servedByName() resolves the string
   SimTime submitted{};
   SimTime completed{};
   SimDuration preprocess{};
@@ -40,6 +54,8 @@ struct FrameBreakdown {
   SimDuration postprocess{};
 
   SimDuration endToEnd() const { return completed - submitted; }
+  // String id of the serving TPU (empty if the frame never routed).
+  const std::string& servedByName() const;
 };
 
 class TpuClient {
@@ -49,9 +65,12 @@ class TpuClient {
     std::string model;
     LbSpread spread = LbSpread::kSmooth;
   };
-  // Resolves a TPU id to its TPU Service instance (nullptr if gone).
-  using Directory = std::function<TpuService*(const std::string& tpuId)>;
-  using CompletionCallback = std::function<void(const FrameBreakdown&)>;
+  // Resolves a TPU handle to its TPU Service instance (nullptr if gone).
+  // Dense-handle lookup so per-frame routing never touches a string map.
+  using Directory = std::function<TpuService*(TpuId tpu)>;
+  // Move-only SBO callable: completions with inline-sized captures ride the
+  // context slot without a std::function heap allocation per frame.
+  using CompletionCallback = MoveFn<void(const FrameBreakdown&)>;
 
   TpuClient(Simulator& sim, const ModelRegistry& registry,
             SimTransport& transport, Directory directory, Config config);
@@ -77,25 +96,39 @@ class TpuClient {
   std::uint64_t outstanding() const {
     return submitted_ - completed_ - failed_;
   }
+  // Live context slots (== outstanding()); exposed for pool-accounting tests.
+  std::size_t contextsInFlight() const { return pool_.inUse(); }
 
  private:
-  // All per-frame pipeline state (breakdown, model info, completion) lives
-  // in one shared context so each stage's closure captures just {this, ctx}
-  // — small enough to stay inline in the event slot instead of re-copying
-  // the model info and callback through every stage.
-  struct InvokeContext;
+  // All per-frame pipeline state (breakdown, the model's POD cost figures,
+  // completion) lives in one recycled pool slot so each stage's closure
+  // captures just {this, handle} — small enough to stay inline in the event
+  // slot — and no string or heap allocation recurs per frame.
+  struct InvokeContext {
+    FrameBreakdown breakdown{};
+    NodeId serviceNode{};
+    std::size_t outputBytes = 0;
+    SimDuration postprocessLatency{};
+    CompletionCallback done;
+  };
+  using ContextPool = SlabPool<InvokeContext>;
+  using Handle = ContextPool::Handle;
 
-  void routeAndSend(const std::shared_ptr<InvokeContext>& ctx);
-  void onRequestDelivered(const std::shared_ptr<InvokeContext>& ctx);
-  void onResponseDelivered(const std::shared_ptr<InvokeContext>& ctx);
-  void complete(const std::shared_ptr<InvokeContext>& ctx);
+  void onRequestDelivered(Handle h);
+  void onInvokeDone(Handle h, const TpuDevice::InvokeStats& stats);
+  void complete(Handle h);
+  // Drops the frame and recycles its slot (route/invoke failure).
+  void fail(Handle h);
 
   Simulator& sim_;
   const ModelRegistry& registry_;
   SimTransport& transport_;
   Directory directory_;
   Config config_;
+  NodeId clientNode_{};  // interned once; every frame's transport endpoint
+  ModelId model_{};      // interned once; every frame's invoke argument
   LbService lb_;
+  ContextPool pool_;
   bool stopped_ = false;
   std::uint64_t nextFrameId_ = 1;
   std::uint64_t submitted_ = 0;

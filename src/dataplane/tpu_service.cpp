@@ -1,5 +1,7 @@
 #include "dataplane/tpu_service.hpp"
 
+#include "util/strings.hpp"
+
 namespace microedge {
 
 Status TpuService::load(const LoadCommand& command) {
@@ -7,19 +9,35 @@ Status TpuService::load(const LoadCommand& command) {
   return device_.loadModels(command.composite);
 }
 
-Status TpuService::invoke(const std::string& model,
-                          TpuDevice::InvokeCallback done) {
+Status TpuService::invoke(ModelId model, TpuDevice::InvokeCallback done) {
   Status s = device_.invoke(model, std::move(done));
   if (s.isOk()) {
     ++invokes_;
-    ++perModel_[model];
+    if (model.value >= perModel_.size()) {
+      perModel_.resize(model.value + 1, 0);  // first sight of this model only
+    }
+    ++perModel_[model.value];
   }
   return s;
 }
 
+Status TpuService::invoke(const std::string& model,
+                          TpuDevice::InvokeCallback done) {
+  ModelId id = lookupModel(model);
+  if (!id.valid()) {
+    return notFound(strCat("invoke: unknown model ", model));
+  }
+  return invoke(id, std::move(done));
+}
+
+std::uint64_t TpuService::invokeCountFor(ModelId model) const {
+  return model.valid() && model.value < perModel_.size()
+             ? perModel_[model.value]
+             : 0;
+}
+
 std::uint64_t TpuService::invokeCountFor(const std::string& model) const {
-  auto it = perModel_.find(model);
-  return it == perModel_.end() ? 0 : it->second;
+  return invokeCountFor(lookupModel(model));
 }
 
 }  // namespace microedge

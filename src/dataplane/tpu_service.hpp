@@ -11,14 +11,19 @@
 // Time sharing falls out of the underlying device's serial FIFO; space
 // sharing falls out of installing co-compiled composites. The service keeps
 // per-model counters so experiments can attribute load.
+//
+// Hot path: Invoke takes a dense interned ModelId and bumps a vector-indexed
+// counter — no string-map probe per frame. The hosting node is interned at
+// construction so clients address response hops by NodeId. String overloads
+// remain as thin wrappers.
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "cluster/tpu_device.hpp"
 #include "core/admission.hpp"
+#include "util/intern.hpp"
 #include "util/status.hpp"
 
 namespace microedge {
@@ -27,10 +32,14 @@ class TpuService {
  public:
   // `node` is the hosting tRPi (the client needs it to route frames).
   TpuService(TpuDevice& device, std::string node)
-      : device_(device), node_(std::move(node)) {}
+      : device_(device), node_(std::move(node)), nodeId_(internNode(node_)) {}
 
   const std::string& tpuId() const { return device_.id(); }
+  // Dense handle for this service's TPU (what LB weights route by).
+  TpuId tpu() const { return device_.handle(); }
   const std::string& node() const { return node_; }
+  // Pre-interned hosting node, resolved once at construction.
+  NodeId nodeId() const { return nodeId_; }
   TpuDevice& device() { return device_; }
   const TpuDevice& device() const { return device_; }
 
@@ -42,18 +51,24 @@ class TpuService {
   // Invoke primitive: one inference, completion via callback (the response
   // hop back to the client is the caller's concern — the client library
   // owns the connection).
+  Status invoke(ModelId model, TpuDevice::InvokeCallback done);
+  // String wrapper: resolves the dense handle, then takes the path above.
   Status invoke(const std::string& model, TpuDevice::InvokeCallback done);
 
   std::uint64_t invokeCount() const { return invokes_; }
   std::uint64_t loadCount() const { return loads_; }
+  std::uint64_t invokeCountFor(ModelId model) const;
   std::uint64_t invokeCountFor(const std::string& model) const;
 
  private:
   TpuDevice& device_;
   std::string node_;
+  NodeId nodeId_{};
   std::uint64_t invokes_ = 0;
   std::uint64_t loads_ = 0;
-  std::map<std::string, std::uint64_t> perModel_;
+  // Indexed by ModelId.value (process-wide dense handles); grown on first
+  // sight of a model, then bumped with one vector index per invoke.
+  std::vector<std::uint64_t> perModel_;
 };
 
 }  // namespace microedge

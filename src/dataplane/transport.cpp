@@ -2,14 +2,21 @@
 
 namespace microedge {
 
-SimDuration SimTransport::send(const std::string& fromNode,
-                               const std::string& toNode, std::size_t bytes,
-                               EventFn onDelivered) {
+SimDuration SimTransport::send(NodeId fromNode, NodeId toNode,
+                               std::size_t bytes, EventFn onDelivered,
+                               SimDuration departAfter) {
   SimDuration latency = network_.transferLatency(fromNode, toNode, bytes);
   ++messages_;
   bytes_ += bytes;
-  sim_.scheduleAfter(latency, std::move(onDelivered));
+  sim_.scheduleAfter(departAfter + latency, std::move(onDelivered));
   return latency;
+}
+
+SimDuration SimTransport::send(const std::string& fromNode,
+                               const std::string& toNode, std::size_t bytes,
+                               EventFn onDelivered, SimDuration departAfter) {
+  return send(internNode(fromNode), internNode(toNode), bytes,
+              std::move(onDelivered), departAfter);
 }
 
 }  // namespace microedge

@@ -6,6 +6,18 @@
 // callback after the modelled one-way latency. Flows between distinct node
 // pairs do not contend (switched full-duplex fabric); per-message costs are
 // captured by the NetworkModel's base latency.
+//
+// Hot path: endpoints are pre-resolved NodeId handles (interned once at
+// client/service construction), so a per-frame send costs an integer
+// compare, one multiply and an event insertion — no strings. The string
+// overload interns on entry and is kept for control-plane and test callers.
+//
+// `departAfter` models sender-side work (e.g. the client's preprocess stage)
+// that delays the message's departure without occupying the wire: the
+// callback fires at now + departAfter + latency, and only the latency is
+// returned/attributed to transmission. Folding that stage into the delivery
+// event halves the client pipeline's event count without changing any
+// timestamp.
 
 #include <cstddef>
 #include <string>
@@ -13,6 +25,7 @@
 #include "cluster/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/event_fn.hpp"
+#include "util/intern.hpp"
 
 namespace microedge {
 
@@ -22,11 +35,18 @@ class SimTransport {
       : sim_(sim), network_(network) {}
 
   // Delivers `onDelivered` after the transfer latency of `bytes` from
-  // `fromNode` to `toNode`. Returns the modelled latency (for breakdowns).
-  // EventFn keeps inline-sized completion closures off the heap all the way
-  // into the event slot.
+  // `fromNode` to `toNode` (plus `departAfter` of sender-side delay).
+  // Returns the modelled transfer latency (for breakdowns). EventFn keeps
+  // inline-sized completion closures off the heap all the way into the
+  // event slot.
+  SimDuration send(NodeId fromNode, NodeId toNode, std::size_t bytes,
+                   EventFn onDelivered,
+                   SimDuration departAfter = SimDuration::zero());
+
+  // String wrapper: interns both endpoints, then takes the path above.
   SimDuration send(const std::string& fromNode, const std::string& toNode,
-                   std::size_t bytes, EventFn onDelivered);
+                   std::size_t bytes, EventFn onDelivered,
+                   SimDuration departAfter = SimDuration::zero());
 
   std::size_t messagesSent() const { return messages_; }
   std::size_t bytesSent() const { return bytes_; }

@@ -59,7 +59,7 @@ Status ServerlessDispatcher::invoke(const std::string& clientNode,
               return;
             }
             ++dispatched_;
-            b->servedBy = service->tpuId();
+            b->servedBy = service->tpu();
             const std::string serviceNode = service->node();
             // Hop 2: frame moves again, dispatcher -> chosen tRPi.
             SimDuration hop2 = transport.send(

@@ -1,19 +1,24 @@
 #pragma once
 
-// EventFn: a move-only, small-buffer-optimized replacement for
-// std::function<void()> on the simulator hot path.
+// MoveFn: a move-only, small-buffer-optimized replacement for std::function
+// on the data-plane and simulator hot paths, generalized over the call
+// signature. Two instantiations matter:
 //
-// Every scheduled event stores exactly one of these inside its heap slot.
+//   EventFn                  = MoveFn<void()>                 — every event
+//     scheduled on the Simulator stores exactly one inside its heap slot;
+//   TpuDevice::InvokeCallback = MoveFn<void(const InvokeStats&)> — every
+//     queued inference carries its completion through the device FIFO.
+//
 // Callables up to kInlineSize bytes (48 — enough for every closure the
-// actors capture: a this-pointer plus a shared context pointer, a whole
+// actors capture: a this-pointer plus a pool handle, a whole
 // std::function<void()>, or a ~40-byte stats blob) live inline in the slot;
-// firing an event is then a small memcpy-class move with zero heap traffic.
-// Larger callables fall back to a single heap allocation, and moving the
-// wrapper just moves the pointer.
+// firing is then a small memcpy-class move with zero heap traffic. Larger
+// callables fall back to a single heap allocation, and moving the wrapper
+// just moves the pointer.
 //
-// Unlike std::function, EventFn is move-only: events are consumed exactly
+// Unlike std::function, MoveFn is move-only: callbacks are consumed exactly
 // once, so copyability would only force captured state to be copyable and
-// hide accidental copies. Invoking an empty EventFn is undefined (asserted
+// hide accidental copies. Invoking an empty MoveFn is undefined (asserted
 // in debug builds).
 
 #include <cassert>
@@ -24,22 +29,30 @@
 
 namespace microedge {
 
-class EventFn {
+template <typename Sig, std::size_t InlineSize = 48>
+class MoveFn;
+
+template <typename R, typename... Args, std::size_t InlineSize>
+class MoveFn<R(Args...), InlineSize> {
  public:
   // Floor required by the actors; raising it grows every event slot.
-  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineSize = InlineSize;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
-  EventFn() noexcept = default;
+  MoveFn() noexcept = default;
+  MoveFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like wrapper
+            typename = std::enable_if_t<!std::is_same_v<D, MoveFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  MoveFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like wrapper
     if constexpr (fitsInline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
-      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      invoke_ = [](void* p, Args... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      };
       manage_ = [](void* dst, void* src) {
         D* s = static_cast<D*>(src);
         if (dst != nullptr) ::new (dst) D(std::move(*s));
@@ -48,7 +61,9 @@ class EventFn {
     } else {
       D* heap = new D(std::forward<F>(f));
       ::new (static_cast<void*>(buf_)) D*(heap);
-      invoke_ = [](void* p) { (**static_cast<D**>(p))(); };
+      invoke_ = [](void* p, Args... args) -> R {
+        return (**static_cast<D**>(p))(std::forward<Args>(args)...);
+      };
       manage_ = [](void* dst, void* src) {
         D** s = static_cast<D**>(src);
         if (dst != nullptr) {
@@ -60,9 +75,9 @@ class EventFn {
     }
   }
 
-  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+  MoveFn(MoveFn&& other) noexcept { moveFrom(other); }
 
-  EventFn& operator=(EventFn&& other) noexcept {
+  MoveFn& operator=(MoveFn&& other) noexcept {
     if (this != &other) {
       reset();
       moveFrom(other);
@@ -70,14 +85,19 @@ class EventFn {
     return *this;
   }
 
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
+  MoveFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
 
-  ~EventFn() { reset(); }
+  MoveFn(const MoveFn&) = delete;
+  MoveFn& operator=(const MoveFn&) = delete;
 
-  void operator()() {
-    assert(invoke_ != nullptr && "invoking empty EventFn");
-    invoke_(buf_);
+  ~MoveFn() { reset(); }
+
+  R operator()(Args... args) {
+    assert(invoke_ != nullptr && "invoking empty MoveFn");
+    return invoke_(buf_, std::forward<Args>(args)...);
   }
 
   explicit operator bool() const noexcept { return invoke_ != nullptr; }
@@ -91,12 +111,12 @@ class EventFn {
   }
 
  private:
-  using Invoke = void (*)(void*);
+  using Invoke = R (*)(void*, Args...);
   // dst != nullptr: move the payload from src into dst, then destroy src's.
   // dst == nullptr: destroy src's payload.
   using Manage = void (*)(void* dst, void* src);
 
-  void moveFrom(EventFn& other) noexcept {
+  void moveFrom(MoveFn& other) noexcept {
     if (other.invoke_ != nullptr) {
       other.manage_(buf_, other.buf_);
       invoke_ = other.invoke_;
@@ -118,5 +138,7 @@ class EventFn {
   Invoke invoke_ = nullptr;
   Manage manage_ = nullptr;
 };
+
+using EventFn = MoveFn<void()>;
 
 }  // namespace microedge

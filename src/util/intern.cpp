@@ -6,7 +6,7 @@ namespace microedge {
 
 std::uint32_t Interner::intern(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   auto id = static_cast<std::uint32_t>(names_.size());
   assert(id != kInvalid && "interner exhausted u32 id space");
@@ -18,7 +18,7 @@ std::uint32_t Interner::intern(std::string_view name) {
 
 std::uint32_t Interner::lookup(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   return it == ids_.end() ? kInvalid : it->second;
 }
 
@@ -39,6 +39,11 @@ Interner& modelInterner() {
 }
 
 Interner& tpuInterner() {
+  static Interner table;
+  return table;
+}
+
+Interner& nodeInterner() {
   static Interner table;
   return table;
 }

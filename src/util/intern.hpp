@@ -38,8 +38,18 @@ class Interner {
   std::size_t size() const;
 
  private:
+  // Heterogeneous lookup: probing with a string_view must not materialize a
+  // temporary std::string (the string-API wrappers route through here).
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      ids_;
   // Pointers into ids_ keys: stable across rehash (node-based buckets).
   std::vector<const std::string*> names_;
 };
@@ -68,9 +78,23 @@ struct TpuId {
   }
 };
 
+// Cluster node (RPi) handle: the data plane resolves transfer latencies by
+// comparing/indexing these instead of probing string node names per frame.
+struct NodeId {
+  std::uint32_t value = Interner::kInvalid;
+  constexpr bool valid() const { return value != Interner::kInvalid; }
+  friend constexpr bool operator==(NodeId a, NodeId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(NodeId a, NodeId b) {
+    return a.value != b.value;
+  }
+};
+
 // Process-wide symbol tables, one per id domain.
 Interner& modelInterner();
 Interner& tpuInterner();
+Interner& nodeInterner();
 
 inline ModelId internModel(std::string_view name) {
   return ModelId{modelInterner().intern(name)};
@@ -90,6 +114,16 @@ inline TpuId lookupTpu(std::string_view name) {
 }
 inline const std::string& tpuName(TpuId id) {
   return tpuInterner().name(id.value);
+}
+
+inline NodeId internNode(std::string_view name) {
+  return NodeId{nodeInterner().intern(name)};
+}
+inline NodeId lookupNode(std::string_view name) {
+  return NodeId{nodeInterner().lookup(name)};
+}
+inline const std::string& nodeName(NodeId id) {
+  return nodeInterner().name(id.value);
 }
 
 }  // namespace microedge

@@ -1,0 +1,111 @@
+#pragma once
+
+// SlabPool: a chunked object pool with generation-checked handles, built for
+// per-frame contexts on the data-plane fast path.
+//
+// TpuClient used to heap-allocate a shared_ptr'd InvokeContext per frame and
+// thread it through every pipeline stage, paying an allocation plus refcount
+// churn on each of the millions of frames a figure reproduction replays.
+// The pool replaces that with recycled slots: stages capture a {this, Handle}
+// pair (16 bytes — inline in the event slot) and re-resolve the context at
+// each hop.
+//
+// Design points:
+//  * storage is chunked (fixed-size slabs), so T* stay stable for the pool's
+//    lifetime — growth never moves live objects, and a stage may hold a
+//    pointer across calls that acquire new slots;
+//  * each slot carries a generation counter bumped on acquire AND release
+//    (odd = live). A Handle embeds the generation it was minted with, so a
+//    stale handle — slot released, possibly reused — resolves to nullptr
+//    instead of someone else's frame;
+//  * slots are recycled LIFO through an index free list, keeping the hot
+//    working set small and cache-resident;
+//  * steady state performs zero heap allocations: a chunk is allocated only
+//    when the in-use high-water mark grows.
+//
+// T must be default-constructible; objects are constructed once per slot and
+// reused, so the caller resets whatever fields matter on acquire.
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace microedge {
+
+template <typename T, std::size_t ChunkSize = 64>
+class SlabPool {
+  static_assert(ChunkSize > 0 && (ChunkSize & (ChunkSize - 1)) == 0,
+                "ChunkSize must be a power of two");
+
+ public:
+  struct Handle {
+    std::uint32_t index = kInvalidIndex;
+    std::uint32_t generation = 0;
+    bool valid() const { return index != kInvalidIndex; }
+    friend bool operator==(Handle a, Handle b) {
+      return a.index == b.index && a.generation == b.generation;
+    }
+  };
+
+  // Returns a handle to a live slot. The object is recycled, not
+  // re-constructed — reset its fields before use.
+  Handle acquire() {
+    if (freeList_.empty()) addChunk();
+    std::uint32_t index = freeList_.back();
+    freeList_.pop_back();
+    std::uint32_t gen = ++generation_[index];  // even -> odd: live
+    assert((gen & 1u) == 1u && "acquired slot must be generation-odd");
+    ++inUse_;
+    return Handle{index, gen};
+  }
+
+  // Resolves a handle; nullptr if the handle is stale (its slot has been
+  // released since, whether or not it was reacquired).
+  T* get(Handle h) {
+    if (h.index >= generation_.size()) return nullptr;
+    if (generation_[h.index] != h.generation || (h.generation & 1u) == 0u) {
+      return nullptr;
+    }
+    return slotPtr(h.index);
+  }
+
+  // Releases a live slot back to the free list. Stale handles are rejected
+  // (returns false) rather than corrupting the freelist with double-frees.
+  bool release(Handle h) {
+    if (get(h) == nullptr) return false;
+    ++generation_[h.index];  // odd -> even: free
+    freeList_.push_back(h.index);
+    --inUse_;
+    return true;
+  }
+
+  std::size_t inUse() const { return inUse_; }
+  std::size_t capacity() const { return generation_.size(); }
+
+ private:
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  T* slotPtr(std::uint32_t index) {
+    return &chunks_[index / ChunkSize][index % ChunkSize];
+  }
+
+  void addChunk() {
+    std::size_t base = generation_.size();
+    assert(base + ChunkSize < kInvalidIndex && "slab pool index space");
+    chunks_.push_back(std::make_unique<T[]>(ChunkSize));
+    generation_.resize(base + ChunkSize, 0);
+    freeList_.reserve(base + ChunkSize);
+    // LIFO free list: push in reverse so the lowest index comes out first.
+    for (std::size_t i = ChunkSize; i-- > 0;) {
+      freeList_.push_back(static_cast<std::uint32_t>(base + i));
+    }
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::uint32_t> generation_;  // per slot; odd = live
+  std::vector<std::uint32_t> freeList_;
+  std::size_t inUse_ = 0;
+};
+
+}  // namespace microedge

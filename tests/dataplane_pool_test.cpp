@@ -1,0 +1,186 @@
+// Context-pool semantics of the allocation-free client fast path: slot
+// recycling, generation-checked staleness, and accounting under churn.
+// Exercised under ASan in CI — a use-after-release of a recycled slot or a
+// leaked InvokeContext shows up here first.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "models/zoo.hpp"
+#include "util/slab_pool.hpp"
+
+namespace microedge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SlabPool unit level: the generation check is what makes a handle held by a
+// stale in-flight event safe to dereference-or-reject.
+
+TEST(SlabPoolTest, AcquireGetReleaseRoundTrip) {
+  SlabPool<int> pool;
+  auto h = pool.acquire();
+  ASSERT_NE(pool.get(h), nullptr);
+  *pool.get(h) = 42;
+  EXPECT_EQ(pool.inUse(), 1u);
+  EXPECT_TRUE(pool.release(h));
+  EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(SlabPoolTest, GenerationCheckRejectsStaleHandle) {
+  SlabPool<int> pool;
+  auto first = pool.acquire();
+  ASSERT_TRUE(pool.release(first));
+  // The slot is recycled under a new generation; the old handle must die.
+  auto second = pool.acquire();
+  EXPECT_EQ(second.index, first.index);
+  EXPECT_NE(second.generation, first.generation);
+  EXPECT_EQ(pool.get(first), nullptr);
+  EXPECT_FALSE(pool.release(first));  // double release is a no-op
+  ASSERT_NE(pool.get(second), nullptr);
+  EXPECT_TRUE(pool.release(second));
+}
+
+TEST(SlabPoolTest, DefaultHandleAndOutOfRangeAreInvalid) {
+  SlabPool<int> pool;
+  SlabPool<int>::Handle empty;
+  EXPECT_EQ(pool.get(empty), nullptr);
+  EXPECT_FALSE(pool.release(empty));
+  SlabPool<int>::Handle bogus{9999, 1};
+  EXPECT_EQ(pool.get(bogus), nullptr);
+}
+
+TEST(SlabPoolTest, FreeListRecyclesBeforeGrowing) {
+  SlabPool<int, 4> pool;
+  std::vector<SlabPool<int, 4>::Handle> handles;
+  for (int i = 0; i < 4; ++i) handles.push_back(pool.acquire());
+  EXPECT_EQ(pool.capacity(), 4u);
+  for (auto& h : handles) ASSERT_TRUE(pool.release(h));
+  // A full release/acquire cycle reuses the chunk — capacity is stable.
+  for (int i = 0; i < 4; ++i) handles[i] = pool.acquire();
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.inUse(), 4u);
+  // One more forces a second chunk.
+  auto extra = pool.acquire();
+  EXPECT_EQ(pool.capacity(), 8u);
+  ASSERT_NE(pool.get(extra), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Client level: the pool's accounting must track the pipeline exactly.
+
+class ClientPoolTest : public ::testing::Test {
+ protected:
+  ClientPoolTest()
+      : zoo_(zoo::standardZoo()),
+        topo_(sim_, zoo_, smallTopology()),
+        dataPlane_(sim_, topo_, zoo_) {}
+
+  static TopologySpec smallTopology() {
+    TopologySpec spec;
+    spec.vRpiCount = 2;
+    spec.tRpiCount = 2;
+    return spec;
+  }
+
+  void loadAll(const std::string& model) {
+    for (const char* tpu : {"tpu-00", "tpu-01"}) {
+      ASSERT_TRUE(dataPlane_.executeLoad(LoadCommand{tpu, {model}, {}}).isOk());
+    }
+    sim_.run();
+  }
+
+  Simulator sim_;
+  ModelRegistry zoo_;
+  ClusterTopology topo_;
+  DataPlane dataPlane_;
+};
+
+TEST_F(ClientPoolTest, SlotReusedAfterCompletion) {
+  loadAll(zoo::kMobileNetV1);
+  auto client = dataPlane_.makeClient("vrpi-00", zoo::kMobileNetV1);
+  ASSERT_TRUE(client->configureLb(LbConfig{{LbWeight{"tpu-00", 100}}}).isOk());
+  // Sequential frames cycle through the pool one slot at a time: the pool
+  // never grows past the warm footprint of one in-flight frame.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client->invoke(nullptr).isOk());
+    sim_.run();
+    EXPECT_EQ(client->contextsInFlight(), 0u);
+  }
+  EXPECT_EQ(client->completedCount(), 200u);
+}
+
+TEST_F(ClientPoolTest, StopMidFlightDrainsInFlightFrames) {
+  loadAll(zoo::kMobileNetV1);
+  auto client = dataPlane_.makeClient("vrpi-00", zoo::kMobileNetV1);
+  ASSERT_TRUE(client->configureLb(LbConfig{{LbWeight{"tpu-00", 100},
+                                            LbWeight{"tpu-01", 100}}})
+                  .isOk());
+  int completions = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        client->invoke([&](const FrameBreakdown&) { ++completions; }).isOk());
+  }
+  EXPECT_EQ(client->contextsInFlight(), 8u);
+  client->stop();
+  EXPECT_FALSE(client->invoke(nullptr).isOk());
+  sim_.run();
+  // Every pre-stop frame ran to completion and returned its slot.
+  EXPECT_EQ(completions, 8);
+  EXPECT_EQ(client->completedCount(), 8u);
+  EXPECT_EQ(client->contextsInFlight(), 0u);
+  EXPECT_EQ(client->outstanding(), 0u);
+}
+
+TEST_F(ClientPoolTest, RemovedServiceMidFlightRecyclesSlot) {
+  loadAll(zoo::kMobileNetV1);
+  auto client = dataPlane_.makeClient("vrpi-00", zoo::kMobileNetV1);
+  ASSERT_TRUE(client->configureLb(LbConfig{{LbWeight{"tpu-00", 100}}}).isOk());
+  // The frame routes and departs, then its target dies while it is on the
+  // wire: arrival re-resolves the dense handle, finds nothing, and the frame
+  // is dropped — its slot must come back.
+  ASSERT_TRUE(client->invoke(nullptr).isOk());
+  EXPECT_EQ(client->contextsInFlight(), 1u);
+  dataPlane_.removeService("tpu-00");
+  sim_.run();
+  EXPECT_EQ(client->completedCount(), 0u);
+  EXPECT_EQ(client->failedCount(), 1u);
+  EXPECT_EQ(client->contextsInFlight(), 0u);
+  EXPECT_EQ(client->outstanding(), 0u);
+}
+
+TEST_F(ClientPoolTest, OutstandingTracksPoolUnderChurn) {
+  loadAll(zoo::kMobileNetV1);
+  auto client = dataPlane_.makeClient("vrpi-00", zoo::kMobileNetV1);
+  ASSERT_TRUE(client->configureLb(LbConfig{{LbWeight{"tpu-00", 100},
+                                            LbWeight{"tpu-01", 100}}})
+                  .isOk());
+  // Closed loop with a fan-out of 16: every completion immediately resubmits
+  // until 500 frames have drained. The pool population must equal the
+  // client's outstanding count at every completion edge.
+  std::uint64_t target = 500;
+  std::uint64_t finished = 0;
+  std::function<void(const FrameBreakdown&)> pump =
+      [&](const FrameBreakdown&) {
+        ++finished;
+        EXPECT_EQ(client->contextsInFlight(), client->outstanding());
+        if (finished + client->outstanding() < target) {
+          ASSERT_TRUE(client->invoke([&](const FrameBreakdown& b) { pump(b); })
+                          .isOk());
+        }
+      };
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        client->invoke([&](const FrameBreakdown& b) { pump(b); }).isOk());
+  }
+  EXPECT_EQ(client->contextsInFlight(), 16u);
+  sim_.run();
+  EXPECT_EQ(client->completedCount(), finished);
+  EXPECT_EQ(client->contextsInFlight(), 0u);
+  EXPECT_EQ(client->outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace microedge

@@ -95,7 +95,7 @@ TEST_F(DataPlaneTest, ClientEndToEndBreakdown) {
                   .isOk());
   sim_.run();
   ASSERT_EQ(completions, 1);
-  EXPECT_EQ(seen.servedBy, "tpu-00");
+  EXPECT_EQ(seen.servedByName(), "tpu-00");
   const ModelInfo& model = zoo_.at(zoo::kSsdMobileNetV2);
   EXPECT_EQ(seen.preprocess, model.preprocessLatency);
   EXPECT_EQ(seen.inference, model.inferenceLatency);
