@@ -1,0 +1,293 @@
+// google-benchmark microbenchmark for the reliability layer's overhead and
+// behaviour under faults.
+//
+// Three operating points of the same closed-loop stream fixture:
+//   off    — seed configuration: no deadlines, no injector (the reference
+//            frames/s of bench_micro_dataplane);
+//   idle   — deadlines + breaker + an ARMED injector whose events lie far in
+//            the future: what a production run pays when nothing breaks.
+//            BM_ChaosSteadyAllocFree asserts this point allocates NOTHING
+//            per steady-state frame (the deadline timer schedule/cancel pair
+//            rides the event arena);
+//   active — hang + transport-loss + latency-spike windows firing mid-run:
+//            frames time out, shed, fail over; throughput and p99 of the
+//            *completed* frames show graceful degradation, not collapse.
+//
+// Emit machine-readable results with BENCH_CHAOS=1 bench/run_bench.sh
+// (-> BENCH_chaos.json). Like the other micro benches, the binary overrides
+// operator new/delete with a counting allocator, so it must not share a
+// binary with anything else.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "models/zoo.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/strings.hpp"
+
+// --- Counting allocator ------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocCount{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace microedge {
+namespace {
+
+std::uint64_t allocsNow() {
+  return g_allocCount.load(std::memory_order_relaxed);
+}
+
+constexpr int kTRpis = 8;
+constexpr int kVRpis = 8;
+constexpr int kStreams = 16;
+
+std::string indexName(const char* prefix, int i) {
+  return strCat(prefix, i < 10 ? "0" : "", i);
+}
+
+enum class Mode { kOff, kIdle, kActive };
+
+struct Stream {
+  TpuClient* client = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t terminated = 0;
+  std::vector<double> latenciesUs;  // completed frames only; pre-reserved
+
+  void pump() {
+    if (remaining == 0) return;
+    --remaining;
+    (void)client->invoke([this](const FrameBreakdown& b) {
+      ++terminated;
+      if (b.outcome == FrameOutcome::kCompleted) {
+        ++completed;
+        if (latenciesUs.size() < latenciesUs.capacity()) {
+          latenciesUs.push_back(
+              static_cast<double>(b.endToEnd().count()) / 1e3);
+        }
+      }
+      pump();
+    });
+  }
+};
+
+struct Fixture {
+  ModelRegistry zoo;
+  Simulator sim;
+  ClusterTopology topo;
+  DataPlane dataPlane;
+  std::unique_ptr<FaultInjector> injector;
+  std::vector<std::unique_ptr<TpuClient>> clients;
+  std::vector<Stream> streams;
+
+  static TopologySpec spec() {
+    TopologySpec s;
+    s.vRpiCount = kVRpis;
+    s.tRpiCount = kTRpis;
+    return s;
+  }
+
+  explicit Fixture(Mode mode)
+      : zoo(zoo::standardZoo()), topo(sim, zoo, spec()),
+        dataPlane(sim, topo, zoo) {
+    LbConfig lb;
+    for (int t = 0; t < kTRpis; ++t) {
+      const std::string tpuId = indexName("tpu-", t);
+      LoadCommand load{tpuId, {zoo::kMobileNetV1}, {}};
+      if (!dataPlane.executeLoad(load).isOk()) std::abort();
+      lb.weights.push_back(LbWeight{tpuId, 100});
+    }
+    sim.run();
+    streams.resize(kStreams);
+    for (int i = 0; i < kStreams; ++i) {
+      TpuClient::Config config;
+      config.clientNode = indexName("vrpi-", i % kVRpis);
+      config.model = zoo::kMobileNetV1;
+      if (mode != Mode::kOff) {
+        config.frameDeadline = milliseconds(250);
+        config.maxFailovers = 1;
+      }
+      clients.push_back(dataPlane.makeClient(std::move(config)));
+      if (!clients.back()->configureLb(lb).isOk()) std::abort();
+      streams[i].client = clients.back().get();
+    }
+    if (mode != Mode::kOff) {
+      FaultInjector::Hooks hooks;
+      hooks.setTpuHung = [this](const std::string& tpu, bool hung) {
+        if (TpuService* s = dataPlane.service(tpu)) s->setHung(hung);
+      };
+      hooks.setTransportFault = [this](double loss, double mult,
+                                       std::uint64_t seed) {
+        dataPlane.transport().setFault(loss, mult, seed);
+      };
+      hooks.clearTransportFault = [this] {
+        dataPlane.transport().clearFault();
+      };
+      injector = std::make_unique<FaultInjector>(sim, std::move(hooks));
+      FaultPlan plan;
+      plan.seed = 99;
+      if (mode == Mode::kActive) {
+        // Rolling 50 ms fault windows every 250 ms of simulated time for
+        // 1000 s: hang one TPU, drop 20% of messages, then 4x latency.
+        for (int w = 0; w < 4000; ++w) {
+          SimDuration at = milliseconds(100 + w * 250);
+          switch (w % 3) {
+            case 0:
+              plan.events.push_back(
+                  FaultEvent{at, FaultKind::kTpuHang,
+                             indexName("tpu-", w % kTRpis),
+                             milliseconds(50), 0.0});
+              break;
+            case 1:
+              plan.events.push_back(FaultEvent{
+                  at, FaultKind::kTransportLoss, "", milliseconds(50), 0.2});
+              break;
+            default:
+              plan.events.push_back(FaultEvent{
+                  at, FaultKind::kLatencySpike, "", milliseconds(50), 4.0});
+          }
+        }
+      } else {
+        // Armed but idle: the whole machinery is wired, the first event
+        // lies beyond any measured horizon.
+        plan.events.push_back(FaultEvent{seconds(86400), FaultKind::kTpuHang,
+                                         "tpu-00", milliseconds(100), 0.0});
+      }
+      injector->arm(plan);
+    }
+  }
+
+  std::uint64_t run(std::uint64_t frames) {
+    for (Stream& s : streams) s.remaining = frames;
+    for (Stream& s : streams) s.pump();
+    sim.run();
+    std::uint64_t total = 0;
+    for (Stream& s : streams) total += s.terminated;
+    return total;
+  }
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// Frames/s + p99 completion latency at one operating point. items_per_second
+// counts TERMINATED frames (completed + shed/timed out/...): the harness
+// cost per frame is what is being measured; completed_ratio and p99 show
+// what the faults did to the traffic.
+void BM_ChaosFrames(benchmark::State& state) {
+  const Mode mode = static_cast<Mode>(state.range(0));
+  const std::uint64_t framesPerStream = 2000;
+  std::uint64_t frames = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t allocs = 0;
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<Fixture>(mode);
+    fx->run(64);  // warm-up: pools, rings, event arena, latency buffers
+    std::uint64_t terminatedBefore = 0;
+    std::uint64_t completedBefore = 0;
+    for (Stream& s : fx->streams) {
+      terminatedBefore += s.terminated;
+      completedBefore += s.completed;
+      s.latenciesUs.clear();
+      s.latenciesUs.reserve(framesPerStream);
+    }
+    std::uint64_t before = allocsNow();
+    state.ResumeTiming();
+    std::uint64_t total = fx->run(framesPerStream);
+    state.PauseTiming();
+    allocs += allocsNow() - before;
+    frames += total - terminatedBefore;
+    for (Stream& s : fx->streams) {
+      completed += s.completed;
+      latencies.insert(latencies.end(), s.latenciesUs.begin(),
+                       s.latenciesUs.end());
+    }
+    completed -= completedBefore;
+    fx.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["allocs_per_frame"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(frames ? frames : 1));
+  state.counters["completed_ratio"] =
+      benchmark::Counter(static_cast<double>(completed) /
+                         static_cast<double>(frames ? frames : 1));
+  state.counters["p99_us"] = benchmark::Counter(percentile(latencies, 0.99));
+}
+BENCHMARK(BM_ChaosFrames)
+    ->Arg(static_cast<int>(Mode::kOff))
+    ->Arg(static_cast<int>(Mode::kIdle))
+    ->Arg(static_cast<int>(Mode::kActive));
+
+// The acceptance invariant, asserted: with deadlines configured and the
+// injector compiled in, armed and idle, a steady-state frame performs ZERO
+// heap allocations. Aborts on regression (mirrors
+// BM_DataplaneSteadyAllocFree, which guards the seed path).
+void BM_ChaosSteadyAllocFree(benchmark::State& state) {
+  const std::uint64_t framesPerStream = 500;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<Fixture>(Mode::kIdle);
+    fx->run(64);
+    std::uint64_t terminatedBefore = 0;
+    for (Stream& s : fx->streams) {
+      terminatedBefore += s.terminated;
+      s.latenciesUs.clear();
+      s.latenciesUs.reserve(framesPerStream);
+    }
+    std::uint64_t before = allocsNow();
+    state.ResumeTiming();
+    std::uint64_t total = fx->run(framesPerStream);
+    state.PauseTiming();
+    std::uint64_t delta = allocsNow() - before;
+    if (delta != 0) {
+      std::fprintf(stderr,
+                   "FATAL: %llu heap allocations in steady-state frame path "
+                   "with deadlines + armed-idle injector (%llu frames) — "
+                   "reliability must be allocation-free when nothing fails\n",
+                   static_cast<unsigned long long>(delta),
+                   static_cast<unsigned long long>(total - terminatedBefore));
+      std::abort();
+    }
+    frames += total - terminatedBefore;
+    fx.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["allocs_per_frame"] = benchmark::Counter(0.0);
+}
+BENCHMARK(BM_ChaosSteadyAllocFree);
+
+}  // namespace
+}  // namespace microedge

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json]
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json]
 #   BUILD_DIR=build   build tree containing bench/bench_micro_sim,
-#                     bench/bench_micro_scheduler and
-#                     bench/bench_micro_dataplane
+#                     bench/bench_micro_scheduler, bench/bench_micro_dataplane
+#                     and (with BENCH_CHAOS=1) bench/bench_micro_chaos
 #   REPS=1            benchmark repetitions
+#   BENCH_CHAOS=1     also run the fault-injection suite: frames/s, p99
+#                     completion latency and allocs/frame with the injector
+#                     off vs armed-idle vs actively firing (-> BENCH_chaos.json)
 #
 # The JSON lands at BENCH_sim.json / BENCH_sched.json / BENCH_dataplane.json
 # by default so the perf trajectory of the event engine, the admission
@@ -22,6 +25,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 SIM_OUT="${1:-BENCH_sim.json}"
 SCHED_OUT="${2:-BENCH_sched.json}"
 DP_OUT="${3:-BENCH_dataplane.json}"
+CHAOS_OUT="${4:-BENCH_chaos.json}"
 REPS="${REPS:-1}"
 
 run_suite() {
@@ -41,3 +45,6 @@ run_suite() {
 run_suite "${BUILD_DIR}/bench/bench_micro_sim" "${SIM_OUT}"
 run_suite "${BUILD_DIR}/bench/bench_micro_scheduler" "${SCHED_OUT}"
 run_suite "${BUILD_DIR}/bench/bench_micro_dataplane" "${DP_OUT}"
+if [[ "${BENCH_CHAOS:-0}" == "1" ]]; then
+  run_suite "${BUILD_DIR}/bench/bench_micro_chaos" "${CHAOS_OUT}"
+fi

@@ -34,6 +34,11 @@ void CascadeApp::onFrame(std::uint64_t frameId) {
   bool interesting = scene_.activeAt(sim_.now()) ||
                      rng_.bernoulli(config_.quietEscalationRate);
   Status s = gate_->invoke([this, interesting](const FrameBreakdown& gateFrame) {
+    if (gateFrame.outcome != FrameOutcome::kCompleted) {
+      gateOnly_.add(gateFrame);  // tallies the terminal outcome
+      slo_.recordDropped();
+      return;
+    }
     if (!interesting) {
       gateOnly_.add(gateFrame);
       slo_.recordCompleted(gateFrame.completed, gateFrame.endToEnd());
@@ -44,6 +49,13 @@ void CascadeApp::onFrame(std::uint64_t frameId) {
     SimTime gateSubmitted = gateFrame.submitted;
     Status st = expert_->invoke(
         [this, gateFrame, gateSubmitted](const FrameBreakdown& expertFrame) {
+          if (expertFrame.outcome != FrameOutcome::kCompleted) {
+            fullCascade_.add(expertFrame);  // tallies the terminal outcome
+            // The gate stage did finish: fall back to gate-only accounting
+            // so the stream's SLO reflects the partial result.
+            slo_.recordCompleted(gateFrame.completed, gateFrame.endToEnd());
+            return;
+          }
           fullCascade_.add(expertFrame);
           SimDuration total = expertFrame.completed - gateSubmitted;
           cascadeLatency_.add(total);

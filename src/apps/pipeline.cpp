@@ -28,6 +28,14 @@ void CameraPipeline::onFrame(std::uint64_t frameId) {
   }
   slo_.recordSubmitted(sim_.now());
   Status s = client_->invoke([this](const FrameBreakdown& frame) {
+    // Every frame terminates exactly once; only completed frames count
+    // toward throughput/latency and reach the app hook — the rest are
+    // recorded as drops (outcome tallied by the aggregator).
+    if (frame.outcome != FrameOutcome::kCompleted) {
+      slo_.recordDropped();
+      breakdown_.add(frame);
+      return;
+    }
     slo_.recordCompleted(frame.completed, frame.endToEnd());
     breakdown_.add(frame);
     if (frameHook_) frameHook_(frame);

@@ -46,6 +46,7 @@ class CameraPipeline {
   const std::string& name() const { return config_.name; }
   const Config& config() const { return config_; }
   TpuClient& client() { return *client_; }
+  const TpuClient& client() const { return *client_; }
   CameraStream& camera() { return camera_; }
   DiffDetector* diffDetector() {
     return diff_.has_value() ? &*diff_ : nullptr;

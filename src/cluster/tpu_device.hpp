@@ -104,6 +104,15 @@ class TpuDevice {
   double cachedFraction(const std::string& model) const;
 
   std::size_t queueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  // Projected wait before a newly-arrived request would start executing:
+  // the in-flight request's remaining occupancy plus `perRequest` for each
+  // queued entry (load jobs approximated the same way). Used by the client's
+  // deadline-based shedding.
+  SimDuration estimatedBacklog(SimTime now, SimDuration perRequest) const {
+    SimDuration wait = busy_ && currentEnd_ > now ? currentEnd_ - now
+                                                  : SimDuration::zero();
+    return wait + static_cast<std::int64_t>(queue_.size()) * perRequest;
+  }
   std::size_t invocations() const { return invocations_; }
   std::size_t swapCount() const { return swaps_; }
   std::size_t residentSwitchCount() const { return residentSwitches_; }

@@ -1,5 +1,7 @@
 #include "dataplane/dataplane.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace microedge {
@@ -17,6 +19,13 @@ DataPlane::DataPlane(Simulator& sim, const ClusterTopology& topology,
     serviceById_[handle.value] = service.get();
     services_.emplace(tpu->id(), std::move(service));
   }
+}
+
+DataPlane::~DataPlane() {
+  // Clients created by this plane may outlive it (harness teardown order is
+  // the owner's business); detach their unregister hooks so a later client
+  // destruction doesn't call into freed memory.
+  for (TpuClient* client : clients_) client->setOnDestroy(nullptr);
 }
 
 TpuService* DataPlane::service(const std::string& tpuId) {
@@ -45,6 +54,10 @@ void DataPlane::removeService(const std::string& tpuId) {
     serviceById_[handle.value] = nullptr;
   }
   services_.erase(it);
+  // Fail fast: frames already shipped toward the dead service would only
+  // discover the loss at their arrival event; broadcast the removal so they
+  // re-route (or terminate with an explicit outcome) right now.
+  for (TpuClient* client : clients_) client->onServiceRemoved(handle);
 }
 
 Status DataPlane::executeLoad(const LoadCommand& command) {
@@ -55,6 +68,36 @@ Status DataPlane::executeLoad(const LoadCommand& command) {
   return target->load(command);
 }
 
+void DataPlane::executeLoadWithRetry(LoadCommand command, ExpBackoff backoff,
+                                     LoadDone done) {
+  Status s = executeLoad(command);
+  if (s.isOk() || backoff.maxAttempts == 0 ||
+      service(command.tpuId) == nullptr) {
+    if (done) done(s);
+    return;
+  }
+  retryLoad(std::move(command), backoff, 0, std::move(done));
+}
+
+void DataPlane::retryLoad(LoadCommand command, ExpBackoff backoff,
+                          std::uint32_t attempt, LoadDone done) {
+  sim_.scheduleAfter(
+      backoff.delay(attempt),
+      [this, command = std::move(command), backoff, attempt,
+       done = std::move(done)]() mutable {
+        ++loadRetries_;
+        Status s = executeLoad(command);
+        // Success, budget exhausted, or the service disappeared while we
+        // were backing off (permanent — eviction is the caller's move).
+        if (s.isOk() || attempt + 1 >= backoff.maxAttempts ||
+            service(command.tpuId) == nullptr) {
+          if (done) done(s);
+          return;
+        }
+        retryLoad(std::move(command), backoff, attempt + 1, std::move(done));
+      });
+}
+
 std::unique_ptr<TpuClient> DataPlane::makeClient(std::string clientNode,
                                                  std::string model,
                                                  LbSpread spread) {
@@ -62,9 +105,19 @@ std::unique_ptr<TpuClient> DataPlane::makeClient(std::string clientNode,
   config.clientNode = std::move(clientNode);
   config.model = std::move(model);
   config.spread = spread;
-  return std::make_unique<TpuClient>(
+  return makeClient(std::move(config));
+}
+
+std::unique_ptr<TpuClient> DataPlane::makeClient(TpuClient::Config config) {
+  auto client = std::make_unique<TpuClient>(
       sim_, registry_, transport_,
       [this](TpuId tpu) { return serviceById(tpu); }, std::move(config));
+  clients_.push_back(client.get());
+  client->setOnDestroy([this](TpuClient* dying) {
+    clients_.erase(std::remove(clients_.begin(), clients_.end(), dying),
+                   clients_.end());
+  });
+  return client;
 }
 
 }  // namespace microedge

@@ -4,7 +4,15 @@
 // cluster boot (as MicroEdge does at system initialization) and provides
 // the glue the control plane needs — a Load executor for the extended
 // scheduler and a client factory for application pods.
+//
+// Reliability glue: the DataPlane keeps a registry of the clients it
+// created; removeService() broadcasts the removal so every in-flight frame
+// addressed to the dead service fails over or terminates immediately
+// (fail-fast) instead of waiting for its arrival event. Clients unregister
+// themselves on destruction, so the registry never dangles regardless of
+// which side dies first.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -14,6 +22,7 @@
 #include "dataplane/tpu_client.hpp"
 #include "dataplane/tpu_service.hpp"
 #include "dataplane/transport.hpp"
+#include "util/backoff.hpp"
 
 namespace microedge {
 
@@ -21,6 +30,7 @@ class DataPlane {
  public:
   DataPlane(Simulator& sim, const ClusterTopology& topology,
             const ModelRegistry& registry);
+  ~DataPlane();
 
   DataPlane(const DataPlane&) = delete;
   DataPlane& operator=(const DataPlane&) = delete;
@@ -34,19 +44,37 @@ class DataPlane {
   std::vector<TpuService*> services();
   std::size_t serviceCount() const { return services_.size(); }
 
-  // Removes a TPU Service (node failure injection). Clients routing to it
-  // will drop frames until reconfigured.
+  // Removes a TPU Service (node failure injection) and fails fast: every
+  // registered client immediately fails over or terminates its in-flight
+  // frames addressed to the removed service.
   void removeService(const std::string& tpuId);
 
   // ExtendedScheduler::Callbacks::loadModel implementation.
   Status executeLoad(const LoadCommand& command);
 
-  // Creates the client library instance baked into an application pod.
+  // Async Load with bounded exponential backoff, for transient service
+  // faults (hung TPU Service mid-recovery). Retries are ordinary simulator
+  // events; `done` (optional) fires with the final status — synchronously
+  // when the first attempt succeeds or the target service is gone
+  // (permanent failure: retrying a removed service is pointless).
+  using LoadDone = MoveFn<void(const Status&)>;
+  void executeLoadWithRetry(LoadCommand command, ExpBackoff backoff,
+                            LoadDone done);
+  std::uint64_t loadRetries() const { return loadRetries_; }
+
+  // Creates the client library instance baked into an application pod and
+  // registers it for fail-fast service-removal broadcasts.
   std::unique_ptr<TpuClient> makeClient(std::string clientNode,
                                         std::string model,
                                         LbSpread spread = LbSpread::kSmooth);
+  // Same, with the reliability knobs (deadline / failover / breaker) set.
+  std::unique_ptr<TpuClient> makeClient(TpuClient::Config config);
+  std::size_t clientCount() const { return clients_.size(); }
 
  private:
+  void retryLoad(LoadCommand command, ExpBackoff backoff,
+                 std::uint32_t attempt, LoadDone done);
+
   Simulator& sim_;
   const ModelRegistry& registry_;
   SimTransport transport_;
@@ -54,6 +82,9 @@ class DataPlane {
   // Indexed by TpuId.value; nullptr where the service was removed or the
   // handle belongs to another cluster instance.
   std::vector<TpuService*> serviceById_;
+  // Live clients created by makeClient (they unregister on destruction).
+  std::vector<TpuClient*> clients_;
+  std::uint64_t loadRetries_ = 0;
 };
 
 }  // namespace microedge

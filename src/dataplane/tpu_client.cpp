@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace microedge {
+
+std::string_view toString(FrameOutcome outcome) {
+  switch (outcome) {
+    case FrameOutcome::kInFlight:
+      return "in-flight";
+    case FrameOutcome::kCompleted:
+      return "completed";
+    case FrameOutcome::kTimedOut:
+      return "timed-out";
+    case FrameOutcome::kShed:
+      return "shed";
+    case FrameOutcome::kDroppedDeadTarget:
+      return "dropped-dead-target";
+    case FrameOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
 
 const std::string& FrameBreakdown::servedByName() const {
   static const std::string kEmpty;
@@ -19,7 +38,121 @@ TpuClient::TpuClient(Simulator& sim, const ModelRegistry& registry,
     : sim_(sim), registry_(registry), transport_(transport),
       directory_(std::move(directory)), config_(std::move(config)),
       clientNode_(internNode(config_.clientNode)),
-      model_(internModel(config_.model)), lb_(config_.spread) {}
+      model_(internModel(config_.model)), lb_(config_.spread) {
+  lb_.setHealthConfig(config_.health);
+}
+
+TpuClient::~TpuClient() {
+  // One id to cancel, however many frames are in flight (the harness keeps
+  // clients alive until the simulation drains, but don't leave a timer
+  // pointing at a dead `this` if someone tears down early).
+  if (dlTimer_.valid()) sim_.cancel(dlTimer_);
+  if (onDestroy_) onDestroy_(this);
+}
+
+// ---- Deadline queue ---------------------------------------------------------
+
+void TpuClient::dlEnqueue(Handle h, InvokeContext* c) {
+  c->dlPrev = dlTail_;
+  c->dlNext = Handle{};
+  if (dlTail_.valid()) {
+    pool_.get(dlTail_)->dlNext = h;
+  } else {
+    dlHead_ = h;
+  }
+  dlTail_ = h;
+  // Monotonic deadlines: an armed timer always targets a time <= this
+  // frame's deadline, so only an idle queue needs a fresh event. During a
+  // sweep the epilogue of onDeadlineTimer re-arms instead.
+  if (!dlTimer_.valid() && !dlSweeping_) {
+    dlTimer_ = sim_.schedule(c->deadlineAt, [this] { onDeadlineTimer(); });
+  }
+}
+
+void TpuClient::dlUnlink(Handle h, InvokeContext* c) {
+  const bool queued =
+      c->dlPrev.valid() || c->dlNext.valid() || dlHead_ == h;
+  if (!queued) return;  // frame terminated before it was ever enqueued
+  if (c->dlPrev.valid()) {
+    pool_.get(c->dlPrev)->dlNext = c->dlNext;
+  } else {
+    dlHead_ = c->dlNext;
+  }
+  if (c->dlNext.valid()) {
+    pool_.get(c->dlNext)->dlPrev = c->dlPrev;
+  } else {
+    dlTail_ = c->dlPrev;
+  }
+  c->dlPrev = Handle{};
+  c->dlNext = Handle{};
+  // The timer deliberately stays armed — even when the queue just emptied.
+  // It fires at the departed head's deadline, finds whatever is at the head
+  // then, and re-arms forward (or lazily disarms on an empty queue). That
+  // is at most one spurious wake per deadline window, instead of a heap
+  // cancel per completing frame; the price is one pending no-op event that
+  // can hold a fully-drained simulation for up to one frameDeadline.
+}
+
+void TpuClient::dlReplace(Handle h, InvokeContext* c, Handle nh,
+                          InvokeContext* nc) {
+  const bool queued =
+      c->dlPrev.valid() || c->dlNext.valid() || dlHead_ == h;
+  nc->dlPrev = c->dlPrev;
+  nc->dlNext = c->dlNext;
+  if (!queued) return;
+  if (nc->dlPrev.valid()) {
+    pool_.get(nc->dlPrev)->dlNext = nh;
+  } else {
+    dlHead_ = nh;
+  }
+  if (nc->dlNext.valid()) {
+    pool_.get(nc->dlNext)->dlPrev = nh;
+  } else {
+    dlTail_ = nh;
+  }
+  c->dlPrev = Handle{};
+  c->dlNext = Handle{};
+}
+
+void TpuClient::onDeadlineTimer() {
+  dlTimer_ = EventId{};
+  dlSweeping_ = true;  // completion callbacks may re-enter invoke()
+  const SimTime now = sim_.now();
+  while (dlHead_.valid()) {
+    Handle h = dlHead_;
+    InvokeContext* c = pool_.get(h);
+    if (c->deadlineAt > now) break;
+    // A timeout is breaker feedback: a hung service or a lossy link shows
+    // up as frames that never come back.
+    lb_.recordFailure(c->targetIndex, now);
+    finish(h, FrameOutcome::kTimedOut);  // unlinks h, advancing dlHead_
+  }
+  dlSweeping_ = false;
+  if (dlHead_.valid()) {
+    dlTimer_ = sim_.rearmCurrentAfter(pool_.get(dlHead_)->deadlineAt - now);
+  }
+}
+
+TpuService* TpuClient::routeToLiveTarget(std::size_t* index) {
+  // Route at submit time (the WRR state only advances here). A healthy-state
+  // draw that resolves to a removed service — the tRPi died between the
+  // failure and the recovery reconfiguring our weights — feeds the breaker
+  // and re-draws, so a dead target is masked after a few frames and the
+  // pod's surviving shares carry the stream through the detection window.
+  const SimTime now = sim_.now();
+  const std::size_t attempts = lb_.config().weights.size() + 1;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    std::size_t idx = lb_.routeHealthyIndex(now);
+    if (idx == LbService::kNoTarget) return nullptr;
+    TpuService* service = directory_(lb_.config().weights[idx].tpu);
+    if (service != nullptr) {
+      *index = idx;
+      return service;
+    }
+    lb_.recordFailure(idx, now);
+  }
+  return nullptr;
+}
 
 Status TpuClient::invoke(CompletionCallback done) {
   if (stopped_) return failedPrecondition("TPU client is stopped");
@@ -31,73 +164,134 @@ Status TpuClient::invoke(CompletionCallback done) {
     return notFound(strCat("model not registered: ", config_.model));
   }
 
-  // Route first: the decision is made at submit time (same LB sequence as
-  // routing after the preprocess delay — the WRR state only advances here),
-  // so a dead target is discovered before any event is scheduled. If the
-  // chosen TPU Service stopped answering (tRPi died between the failure and
-  // the recovery reconfiguring our weights), fail over to the pod's other
-  // shares before dropping the frame.
-  TpuService* service = nullptr;
-  const LbWeight* target = nullptr;
-  std::size_t attempts = std::max<std::size_t>(1, lb_.config().weights.size());
-  for (std::size_t i = 0; i < attempts && service == nullptr; ++i) {
-    target = &lb_.config().weights[lb_.routeIndex()];
-    service = directory_(target->tpu);
-  }
-  if (service == nullptr) {
-    ++submitted_;
-    ++failed_;
-    ME_LOG(kWarning) << "no reachable TPU service for " << config_.model
-                     << "; frame dropped";
-    return Status::ok();
-  }
+  std::size_t index = 0;
+  TpuService* service = routeToLiveTarget(&index);
 
+  ++submitted_;
   Handle h = pool_.acquire();
   InvokeContext* c = pool_.get(h);
   c->breakdown = FrameBreakdown{};
   c->breakdown.frameId = nextFrameId_++;
   c->breakdown.submitted = sim_.now();
-  c->breakdown.preprocess = info->preprocessLatency;
-  c->breakdown.servedBy = target->tpu;
-  c->serviceNode = service->nodeId();
-  c->outputBytes = info->outputBytes;
-  c->postprocessLatency = info->postprocessLatency;
+  c->dlPrev = Handle{};  // recycled slot: clear stale queue links
+  c->dlNext = Handle{};
   c->done = std::move(done);
-  ++submitted_;
+  if (service == nullptr) {
+    // Every target is dead or masked: terminal drop, explicitly counted (the
+    // completion still fires so the application sees the loss).
+    ME_LOG(kWarning) << "no reachable TPU service for " << config_.model
+                     << "; frame dropped";
+    finish(h, FrameOutcome::kDroppedDeadTarget);
+    return Status::ok();
+  }
+  c->breakdown.preprocess = info->preprocessLatency;
+  c->breakdown.servedBy = lb_.config().weights[index].tpu;
+  c->serviceNode = service->nodeId();
+  c->inputBytes = info->inputBytes();
+  c->outputBytes = info->outputBytes;
+  c->inferenceEstimate = info->inferenceLatency;
+  c->postprocessLatency = info->postprocessLatency;
+  c->targetIndex = static_cast<std::uint32_t>(index);
+
+  // Deadline: append to the client's intrusive deadline FIFO — a few index
+  // writes; the one client-wide timer is armed only when the queue was
+  // idle. No per-frame event, no allocation.
+  if (config_.frameDeadline > SimDuration::zero()) {
+    c->deadlineAt = c->breakdown.submitted + config_.frameDeadline;
+    dlEnqueue(h, c);
+  }
 
   // Stages 1+2 fused: client-side resize to the model's input resolution,
   // then the request hop. The preprocess stage delays departure
   // (departAfter) rather than taking its own event; only the wire latency
   // lands in requestTransmit.
   c->breakdown.requestTransmit = transport_.send(
-      clientNode_, c->serviceNode, info->inputBytes(),
+      clientNode_, c->serviceNode, c->inputBytes,
       [this, h] { onRequestDelivered(h); },
       /*departAfter=*/info->preprocessLatency);
   return Status::ok();
 }
 
+bool TpuClient::tryFailover(Handle h, InvokeContext* c) {
+  if (c->breakdown.failovers >= config_.maxFailovers) return false;
+  std::size_t index = 0;
+  TpuService* service = routeToLiveTarget(&index);
+  if (service == nullptr) return false;
+
+  // Move the frame into a fresh slot: the generation check then retires
+  // every event still addressed to the old attempt (a completion from a
+  // device that kept executing the first request, the old deadline timer)
+  // without bookkeeping. Slot recycling is O(1) and allocation-free.
+  Handle nh = pool_.acquire();
+  InvokeContext* nc = pool_.get(nh);
+  nc->breakdown = c->breakdown;
+  nc->inputBytes = c->inputBytes;
+  nc->outputBytes = c->outputBytes;
+  nc->inferenceEstimate = c->inferenceEstimate;
+  nc->postprocessLatency = c->postprocessLatency;
+  nc->deadlineAt = c->deadlineAt;
+  nc->done = std::move(c->done);
+  c->done = nullptr;
+  // The deadline is a property of the frame, not of the attempt: the new
+  // slot takes over the old one's queue position (same absolute deadline,
+  // so FIFO order is preserved) and the armed timer is untouched.
+  dlReplace(h, c, nh, nc);
+  pool_.release(h);
+
+  ++nc->breakdown.failovers;
+  ++failovers_;
+  nc->breakdown.servedBy = lb_.config().weights[index].tpu;
+  nc->serviceNode = service->nodeId();
+  nc->targetIndex = static_cast<std::uint32_t>(index);
+  // Re-ship the already-preprocessed frame to the new target; transmit cost
+  // accumulates across attempts.
+  nc->breakdown.requestTransmit += transport_.send(
+      clientNode_, nc->serviceNode, nc->inputBytes,
+      [this, nh] { onRequestDelivered(nh); });
+  return true;
+}
+
 void TpuClient::onRequestDelivered(Handle h) {
   InvokeContext* c = pool_.get(h);
-  if (c == nullptr) return;  // frame was dropped; stale event
+  if (c == nullptr) return;  // frame already terminal; stale event
   // Stage 3: inference on the (serial, run-to-completion) TPU. The service
   // is re-resolved by dense handle at arrival — if it was removed while the
-  // frame was on the wire, the frame is dropped here instead of touching a
-  // dead instance.
+  // frame was on the wire, the frame fails over instead of touching a dead
+  // instance.
   TpuService* service = directory_(c->breakdown.servedBy);
   if (service == nullptr) {
-    ME_LOG(kWarning) << "TPU service " << c->breakdown.servedByName()
-                     << " vanished mid-flight; frame dropped";
-    fail(h);
+    lb_.recordFailure(c->targetIndex, sim_.now());
+    if (!tryFailover(h, c)) {
+      ME_LOG(kWarning) << "TPU service " << c->breakdown.servedByName()
+                       << " vanished mid-flight; frame dropped";
+      finish(h, FrameOutcome::kDroppedDeadTarget);
+    }
     return;
+  }
+  // Deadline-based shedding: if the device backlog plus our own service
+  // time already overruns the deadline, drop now instead of queueing work
+  // whose result nobody can use. Conservative (response hop and postprocess
+  // are not included) and no breaker feedback — the target is alive, just
+  // momentarily oversubscribed.
+  if (config_.frameDeadline > SimDuration::zero()) {
+    SimDuration wait =
+        service->device().estimatedBacklog(sim_.now(), c->inferenceEstimate);
+    if (sim_.now() + wait + c->inferenceEstimate > c->deadlineAt) {
+      finish(h, FrameOutcome::kShed);
+      return;
+    }
   }
   Status s = service->invoke(model_, [this, h](const TpuDevice::InvokeStats&
                                                    stats) {
     onInvokeDone(h, stats);
   });
   if (!s.isOk()) {
-    ME_LOG(kWarning) << "invoke on " << c->breakdown.servedByName()
-                     << " failed: " << s.toString();
-    fail(h);
+    lb_.recordFailure(c->targetIndex, sim_.now());
+    if (!tryFailover(h, c)) {
+      ME_LOG(kWarning) << "invoke on " << c->breakdown.servedByName()
+                       << " failed: " << s.toString();
+      finish(h, FrameOutcome::kRejected);
+    }
   }
 }
 
@@ -112,15 +306,24 @@ void TpuClient::onInvokeDone(Handle h, const TpuDevice::InvokeStats& stats) {
   // the receive side is symmetric: completion fires at
   // now + latency + postprocess either way).
   c->breakdown.responseTransmit = transport_.send(
-      c->serviceNode, clientNode_, c->outputBytes, [this, h] { complete(h); },
+      c->serviceNode, clientNode_, c->outputBytes,
+      [this, h] { finish(h, FrameOutcome::kCompleted); },
       /*departAfter=*/c->postprocessLatency);
 }
 
-void TpuClient::complete(Handle h) {
+void TpuClient::finish(Handle h, FrameOutcome outcome) {
   InvokeContext* c = pool_.get(h);
   if (c == nullptr) return;
-  c->breakdown.completed = sim_.now();
-  ++completed_;
+  dlUnlink(h, c);
+  c->breakdown.outcome = outcome;
+  ++outcomes_[static_cast<std::size_t>(outcome)];
+  if (outcome == FrameOutcome::kCompleted) {
+    c->breakdown.completed = sim_.now();
+    lb_.recordSuccess(c->targetIndex);
+    ++completed_;
+  } else {
+    ++failed_;
+  }
   // Release the slot before running the completion: the callback may
   // re-enter invoke() (closed-loop drivers) and legitimately reuse it.
   FrameBreakdown result = c->breakdown;
@@ -130,12 +333,20 @@ void TpuClient::complete(Handle h) {
   if (done) done(result);
 }
 
-void TpuClient::fail(Handle h) {
-  InvokeContext* c = pool_.get(h);
-  if (c == nullptr) return;
-  ++failed_;
-  c->done = nullptr;
-  pool_.release(h);
+void TpuClient::onServiceRemoved(TpuId tpu) {
+  // Snapshot first: failovers acquire fresh slots while we walk the pool.
+  std::vector<Handle> doomed;
+  pool_.forEachLive([&](Handle h, InvokeContext& c) {
+    if (c.breakdown.servedBy == tpu) doomed.push_back(h);
+  });
+  if (doomed.empty()) return;
+  const SimTime now = sim_.now();
+  for (Handle h : doomed) {
+    InvokeContext* c = pool_.get(h);
+    if (c == nullptr) continue;
+    lb_.recordFailure(c->targetIndex, now);
+    if (!tryFailover(h, c)) finish(h, FrameOutcome::kDroppedDeadTarget);
+  }
 }
 
 }  // namespace microedge

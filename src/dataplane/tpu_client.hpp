@@ -22,13 +22,34 @@
 // client completion) — preprocess rides the request hop and postprocess the
 // response hop, with identical timestamps to the five-event formulation.
 //
+// Reliability: every frame reaches exactly one terminal FrameOutcome and
+// the completion callback fires for all of them (apps gate on kCompleted).
+// With a frameDeadline configured, in-flight frames sit on an intrusive
+// deadline queue threaded through their slab slots. All frames of a client
+// share one deadline duration, so absolute deadlines are monotonic in
+// submit order and the queue is FIFO — ONE timer event per client, armed
+// for the head frame's deadline, replaces a schedule/cancel pair per frame.
+// Enqueue/unlink are a handful of index writes, completions leave the
+// armed timer alone (it re-arms forward when it fires and finds the head
+// still alive), and the whole layer stays allocation-free and costs ~zero
+// when nothing misses its deadline. A frame that lands on a
+// dead or rejecting target feeds the LB Service's per-target circuit
+// breaker and takes one bounded failover: it moves to a fresh slab slot (so
+// the generation check retires every event addressed to the old attempt)
+// and re-ships to the next healthy target the WRR picks. At arrival the
+// client sheds frames whose predicted completion (device backlog + one
+// service time) already misses the deadline, so an overloaded surviving
+// pool degrades by dropping late frames instead of queueing without bound.
+//
 // Object lifetime: completions reference the client; the experiment harness
 // keeps client objects alive until the simulation drains (a stopped client
 // simply refuses new invokes).
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "dataplane/lb_service.hpp"
 #include "dataplane/tpu_service.hpp"
@@ -41,9 +62,26 @@
 
 namespace microedge {
 
+// Terminal state of one frame. Every submitted frame ends in exactly one of
+// the non-kInFlight states and is counted there (BreakdownAggregator);
+// failover is not a terminal state but a counter (a failed-over frame still
+// ends kCompleted / kTimedOut / ...).
+enum class FrameOutcome : std::uint8_t {
+  kInFlight = 0,        // not terminal: frame still in the pipeline
+  kCompleted,           // post-processing finished
+  kTimedOut,            // frameDeadline elapsed before completion
+  kShed,                // dropped at arrival: backlog already blows the deadline
+  kDroppedDeadTarget,   // no live target (at submit, mid-flight, or failover)
+  kRejected,            // target's invoke refused and no failover possible
+};
+inline constexpr std::size_t kFrameOutcomeCount = 6;
+std::string_view toString(FrameOutcome outcome);
+
 struct FrameBreakdown {
   std::uint64_t frameId = 0;
   TpuId servedBy{};  // dense TPU handle; servedByName() resolves the string
+  FrameOutcome outcome = FrameOutcome::kInFlight;
+  std::uint8_t failovers = 0;  // re-routes this frame took before terminating
   SimTime submitted{};
   SimTime completed{};
   SimDuration preprocess{};
@@ -64,6 +102,12 @@ class TpuClient {
     std::string clientNode;  // RPi hosting the application pod
     std::string model;
     LbSpread spread = LbSpread::kSmooth;
+    // Per-frame deadline measured from submit; zero disables the deadline
+    // timer AND deadline-based shedding (seed behaviour).
+    SimDuration frameDeadline{};
+    // Re-route budget per frame when its target dies or rejects.
+    std::uint32_t maxFailovers = 1;
+    LbHealthConfig health{};
   };
   // Resolves a TPU handle to its TPU Service instance (nullptr if gone).
   // Dense-handle lookup so per-frame routing never touches a string map.
@@ -74,25 +118,45 @@ class TpuClient {
 
   TpuClient(Simulator& sim, const ModelRegistry& registry,
             SimTransport& transport, Directory directory, Config config);
+  ~TpuClient();
 
   // Seeds the embedded LB Service (done by the extended scheduler at pod
   // initialization, §3.1 step 4).
   Status configureLb(const LbConfig& config) { return lb_.configure(config); }
   bool ready() const { return lb_.configured() && !stopped_; }
 
-  // Submits one frame through the full pipeline. `done` fires after
-  // post-processing completes.
+  // Submits one frame through the full pipeline. `done` fires once the
+  // frame reaches its terminal outcome (kCompleted after post-processing;
+  // other outcomes possibly synchronously, e.g. no live target at submit).
   Status invoke(CompletionCallback done);
 
   // Stops accepting new frames (pod termination); in-flight frames finish.
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
+  // Fail-fast notification from the DataPlane: `tpu`'s service was removed.
+  // Every in-flight frame addressed to it immediately fails over (budget
+  // permitting) or terminates kDroppedDeadTarget — nothing waits for an
+  // arrival event at a dead service.
+  void onServiceRemoved(TpuId tpu);
+  // Owner hook invoked from the destructor (DataPlane unregisters the
+  // client from its fail-fast broadcast list).
+  void setOnDestroy(std::function<void(TpuClient*)> hook) {
+    onDestroy_ = std::move(hook);
+  }
+
   const Config& config() const { return config_; }
   LbService& lbService() { return lb_; }
+  const LbService& lbService() const { return lb_; }
   std::uint64_t submittedCount() const { return submitted_; }
   std::uint64_t completedCount() const { return completed_; }
+  // Frames that reached a terminal outcome other than kCompleted.
   std::uint64_t failedCount() const { return failed_; }
+  std::uint64_t outcomeCount(FrameOutcome outcome) const {
+    return outcomes_[static_cast<std::size_t>(outcome)];
+  }
+  // Successful re-routes (frames may appear in a terminal count too).
+  std::uint64_t failoverCount() const { return failovers_; }
   std::uint64_t outstanding() const {
     return submitted_ - completed_ - failed_;
   }
@@ -104,21 +168,48 @@ class TpuClient {
   // completion) lives in one recycled pool slot so each stage's closure
   // captures just {this, handle} — small enough to stay inline in the event
   // slot — and no string or heap allocation recurs per frame.
-  struct InvokeContext {
-    FrameBreakdown breakdown{};
-    NodeId serviceNode{};
-    std::size_t outputBytes = 0;
-    SimDuration postprocessLatency{};
-    CompletionCallback done;
-  };
+  struct InvokeContext;
   using ContextPool = SlabPool<InvokeContext>;
   using Handle = ContextPool::Handle;
 
+  struct InvokeContext {
+    FrameBreakdown breakdown{};
+    NodeId serviceNode{};
+    std::size_t inputBytes = 0;
+    std::size_t outputBytes = 0;
+    SimDuration inferenceEstimate{};  // model service time, for shedding
+    SimDuration postprocessLatency{};
+    SimTime deadlineAt{};
+    // Intrusive deadline-queue links (valid while the frame is enqueued).
+    Handle dlPrev{};
+    Handle dlNext{};
+    std::uint32_t targetIndex = 0;  // index into lb_.config().weights
+    CompletionCallback done;
+  };
+
+  // Draws healthy targets from the LB until one resolves to a live service
+  // (each dead draw feeds the breaker). Returns nullptr when none does.
+  TpuService* routeToLiveTarget(std::size_t* index);
+  // Moves the frame to a fresh slot and re-ships it to the next healthy
+  // target. Returns false (context untouched) when the failover budget is
+  // spent or no live target remains; on true the old handle is dead.
+  bool tryFailover(Handle h, InvokeContext* c);
   void onRequestDelivered(Handle h);
   void onInvokeDone(Handle h, const TpuDevice::InvokeStats& stats);
-  void complete(Handle h);
-  // Drops the frame and recycles its slot (route/invoke failure).
-  void fail(Handle h);
+  // Deadline queue: FIFO == deadline order because every frame of this
+  // client carries the same frameDeadline (failover keeps the absolute
+  // deadline, so position is preserved there too).
+  void dlEnqueue(Handle h, InvokeContext* c);
+  void dlUnlink(Handle h, InvokeContext* c);
+  // Failover: the frame moved from slot `h` to `nh`; splice the new handle
+  // into the old one's queue position.
+  void dlReplace(Handle h, InvokeContext* c, Handle nh, InvokeContext* nc);
+  // The client-wide deadline timer: expires every head frame whose deadline
+  // has passed, then re-arms for the new head (or disarms when idle).
+  void onDeadlineTimer();
+  // Terminates the frame: unlinks it from the deadline queue, stamps +
+  // counts the outcome, recycles the slot, and runs the completion callback.
+  void finish(Handle h, FrameOutcome outcome);
 
   Simulator& sim_;
   const ModelRegistry& registry_;
@@ -129,11 +220,20 @@ class TpuClient {
   ModelId model_{};      // interned once; every frame's invoke argument
   LbService lb_;
   ContextPool pool_;
+  // Deadline queue state: head/tail of the intrusive FIFO plus the single
+  // armed timer (invalid while the queue is empty or a sweep is running).
+  Handle dlHead_{};
+  Handle dlTail_{};
+  EventId dlTimer_{};
+  bool dlSweeping_ = false;
+  std::function<void(TpuClient*)> onDestroy_;
   bool stopped_ = false;
   std::uint64_t nextFrameId_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::array<std::uint64_t, kFrameOutcomeCount> outcomes_{};
 };
 
 }  // namespace microedge

@@ -55,6 +55,13 @@ class TpuService {
   // String wrapper: resolves the dense handle, then takes the path above.
   Status invoke(const std::string& model, TpuDevice::InvokeCallback done);
 
+  // Hang fault (USB stall, wedged runtime): the process is up but stops
+  // answering — Load and Invoke return kUnavailable until the hang clears.
+  // Distinct from removal: clients see rejects (breaker feedback) instead
+  // of a missing service, and recovery can retry the Load with backoff.
+  void setHung(bool hung) { hung_ = hung; }
+  bool hung() const { return hung_; }
+
   std::uint64_t invokeCount() const { return invokes_; }
   std::uint64_t loadCount() const { return loads_; }
   std::uint64_t invokeCountFor(ModelId model) const;
@@ -64,6 +71,7 @@ class TpuService {
   TpuDevice& device_;
   std::string node_;
   NodeId nodeId_{};
+  bool hung_ = false;
   std::uint64_t invokes_ = 0;
   std::uint64_t loads_ = 0;
   // Indexed by ModelId.value (process-wide dense handles); grown on first

@@ -8,6 +8,19 @@ SimDuration SimTransport::send(NodeId fromNode, NodeId toNode,
   SimDuration latency = network_.transferLatency(fromNode, toNode, bytes);
   ++messages_;
   bytes_ += bytes;
+  if (faultActive_) {
+    if (lossProbability_ > 0.0 && faultRng_.bernoulli(lossProbability_)) {
+      // Dropped on the wire: the delivery callback never fires. The sender
+      // still paid the modelled latency (returned for the breakdown); the
+      // loss surfaces as a frame that never comes back.
+      ++dropped_;
+      return latency;
+    }
+    if (latencyMultiplier_ != 1.0) {
+      latency = SimDuration{static_cast<SimDuration::rep>(
+          static_cast<double>(latency.count()) * latencyMultiplier_)};
+    }
+  }
   sim_.scheduleAfter(departAfter + latency, std::move(onDelivered));
   return latency;
 }
@@ -17,6 +30,14 @@ SimDuration SimTransport::send(const std::string& fromNode,
                                EventFn onDelivered, SimDuration departAfter) {
   return send(internNode(fromNode), internNode(toNode), bytes,
               std::move(onDelivered), departAfter);
+}
+
+void SimTransport::setFault(double lossProbability, double latencyMultiplier,
+                            std::uint64_t seed) {
+  faultActive_ = true;
+  lossProbability_ = lossProbability;
+  latencyMultiplier_ = latencyMultiplier;
+  faultRng_ = Pcg32{seed};
 }
 
 }  // namespace microedge

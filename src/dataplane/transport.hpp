@@ -20,12 +20,14 @@
 // timestamp.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "cluster/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/event_fn.hpp"
 #include "util/intern.hpp"
+#include "util/rng.hpp"
 
 namespace microedge {
 
@@ -48,6 +50,18 @@ class SimTransport {
                    std::size_t bytes, EventFn onDelivered,
                    SimDuration departAfter = SimDuration::zero());
 
+  // Fault window (driven by the fault injector): every message is dropped
+  // with `lossProbability` (its delivery callback never fires — the frame's
+  // deadline timer is what notices), and surviving deliveries take
+  // `latencyMultiplier` times the modelled latency. Draws come from a
+  // dedicated seeded Pcg32 so a replayed plan drops identical messages.
+  // Steady-state cost with no fault active: one branch on faultActive_.
+  void setFault(double lossProbability, double latencyMultiplier,
+                std::uint64_t seed);
+  void clearFault() { faultActive_ = false; }
+  bool faultActive() const { return faultActive_; }
+  std::size_t droppedMessages() const { return dropped_; }
+
   std::size_t messagesSent() const { return messages_; }
   std::size_t bytesSent() const { return bytes_; }
 
@@ -56,6 +70,11 @@ class SimTransport {
   const NetworkModel& network_;
   std::size_t messages_ = 0;
   std::size_t bytes_ = 0;
+  std::size_t dropped_ = 0;
+  bool faultActive_ = false;
+  double lossProbability_ = 0.0;
+  double latencyMultiplier_ = 1.0;
+  Pcg32 faultRng_{0};
 };
 
 }  // namespace microedge

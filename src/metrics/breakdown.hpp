@@ -4,8 +4,11 @@
 //
 // Collects FrameBreakdown records and summarizes each pipeline component:
 // pre-processing, request transmission, TPU queueing, inference occupancy,
-// response transmission and post-processing.
+// response transmission and post-processing. Every record's terminal
+// outcome is counted; the latency summaries only accumulate completed
+// frames (a timed-out frame has no meaningful end-to-end figure).
 
+#include <array>
 #include <string>
 
 #include "dataplane/tpu_client.hpp"
@@ -18,6 +21,13 @@ class BreakdownAggregator {
   void add(const FrameBreakdown& frame);
 
   std::size_t count() const { return preprocess_.count(); }
+  std::uint64_t outcomeCount(FrameOutcome outcome) const {
+    return outcomes_[static_cast<std::size_t>(outcome)];
+  }
+  // Every frame that reached a terminal state (completed or otherwise).
+  std::uint64_t terminalCount() const;
+  // Frames that re-routed at least once before terminating.
+  std::uint64_t failedOverCount() const { return failedOver_; }
   const DurationSummary& preprocess() const { return preprocess_; }
   const DurationSummary& requestTransmit() const { return requestTransmit_; }
   const DurationSummary& queueDelay() const { return queueDelay_; }
@@ -35,6 +45,8 @@ class BreakdownAggregator {
   std::string render(const std::string& label) const;
 
  private:
+  std::array<std::uint64_t, kFrameOutcomeCount> outcomes_{};
+  std::uint64_t failedOver_ = 0;
   DurationSummary preprocess_;
   DurationSummary requestTransmit_;
   DurationSummary queueDelay_;

@@ -36,10 +36,17 @@ class SloMonitor {
 
   void recordSubmitted(SimTime at);
   void recordCompleted(SimTime at, SimDuration endToEnd);
+  // A submitted frame that reached a terminal outcome other than completed
+  // (timed out, shed, dropped): it leaves the outstanding window without
+  // counting toward throughput.
+  void recordDropped() { ++dropped_; }
 
   std::uint64_t submitted() const { return submitted_; }
   std::uint64_t completed() const { return completed_; }
-  std::uint64_t outstanding() const { return submitted_ - completed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t outstanding() const {
+    return submitted_ - completed_ - dropped_;
+  }
   const DurationSummary& latency() const { return latency_; }
 
   // Completed frames / active seconds (first submit -> last completion).
@@ -57,6 +64,7 @@ class SloMonitor {
   Config config_;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
   SimTime firstSubmit_{};
   SimTime lastComplete_{};
   DurationSummary latency_;

@@ -1,0 +1,138 @@
+#pragma once
+
+// Seeded, simulator-driven fault injection.
+//
+// A FaultPlan is a replayable schedule of fault events — TPU crash, TPU
+// hang, tRPi node death, transport loss and latency-spike windows — either
+// hand-built or drawn from a seeded Pcg32 (FaultPlan::random). The
+// FaultInjector arms a plan by scheduling each fault as an ordinary
+// simulator event, so faults interleave deterministically with frames: the
+// same plan armed twice produces bit-identical event traces (the applied-
+// fault log is exposed for exactly that assertion).
+//
+// The injector is decoupled from the cluster stack through a small Hooks
+// struct (plain std::functions), keeping me_sim dependency-free; the
+// Testbed supplies hooks that call into DataPlane / FailureRecovery.
+//
+// Detection-window modelling: a crash/node-death fires twice. At t the
+// *data-plane* hook runs (the service stops answering — frames in flight
+// start failing over against masked health state); at t + detectionDelay
+// the *control-plane* hook runs (the orchestrator notices: pool removal,
+// failure recovery replan, weight push). The window between the two is the
+// paper's §8 loss window, and the chaos soak asserts that frame loss is
+// confined to it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace microedge {
+
+enum class FaultKind : std::uint8_t {
+  kTpuCrash,       // service removed at t, recovery replans at t + detection
+  kTpuHang,        // service answers kUnavailable for `duration`
+  kNodeDeath,      // tRPi dies: its pods + TPUs, detection-delayed recovery
+  kTransportLoss,  // every message dropped w.p. `magnitude` for `duration`
+  kLatencySpike,   // transfer latency x `magnitude` for `duration`
+};
+std::string_view toString(FaultKind kind);
+
+struct FaultEvent {
+  SimDuration at{};    // offset from arm() time
+  FaultKind kind{};
+  std::string target;  // TPU id / node name; empty for transport faults
+  SimDuration duration{};  // hang / transport windows; unused for crash/death
+  double magnitude = 0.0;  // loss probability or latency multiplier
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  // drives the transport fault RNG streams
+  // Gap between a crash/death hitting the data plane and the control plane
+  // noticing (health checks, node heartbeats).
+  SimDuration detectionDelay = milliseconds(750);
+  std::vector<FaultEvent> events;
+
+  struct RandomConfig {
+    std::vector<std::string> tpus;   // crash/hang candidates
+    std::vector<std::string> nodes;  // death candidates (tRPis)
+    SimDuration earliest = seconds(1);  // fault window start
+    SimDuration horizon = seconds(6);   // fault window end
+    std::size_t maxTpuCrashes = 1;
+    std::size_t maxTpuHangs = 2;
+    std::size_t maxNodeDeaths = 0;
+    std::size_t maxTransportFaults = 2;
+    SimDuration minWindow = milliseconds(200);  // hang / transport windows
+    SimDuration maxWindow = milliseconds(1500);
+    double maxLossProbability = 0.5;
+    double maxLatencyMultiplier = 6.0;
+  };
+  // Draws a plan from `seed`: distinct crash targets, hang/transport
+  // windows inside [earliest, horizon]. Same seed + config => same plan.
+  static FaultPlan random(std::uint64_t seed, const RandomConfig& config);
+
+  // Machine-readable dump (reproducing a failing chaos seed starts here).
+  std::string toJson() const;
+};
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    // Crash/death, data-plane edge (at t): stop answering.
+    std::function<void(const std::string& tpuId)> tpuFailDataPlane;
+    std::function<void(const std::string& node)> nodeFailDataPlane;
+    // Crash/death, control-plane edge (at t + detectionDelay): recover.
+    std::function<void(const std::string& tpuId)> tpuFailControlPlane;
+    std::function<void(const std::string& node)> nodeFailControlPlane;
+    std::function<void(const std::string& tpuId, bool hung)> setTpuHung;
+    std::function<void(double lossProbability, double latencyMultiplier,
+                       std::uint64_t seed)> setTransportFault;
+    std::function<void()> clearTransportFault;
+  };
+
+  // One line of the applied-fault log. `begin` distinguishes the onset edge
+  // from the clear/recovery edge of two-edged faults.
+  struct Applied {
+    SimTime at{};
+    FaultKind kind{};
+    std::string target;
+    bool begin = true;
+
+    friend bool operator==(const Applied& a, const Applied& b) {
+      return a.at == b.at && a.kind == b.kind && a.target == b.target &&
+             a.begin == b.begin;
+    }
+  };
+
+  FaultInjector(Simulator& sim, Hooks hooks)
+      : sim_(sim), hooks_(std::move(hooks)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every event of `plan` relative to sim.now(). May be called
+  // once per injector instance.
+  void arm(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  // Faults applied so far, in firing order — the replay-determinism witness.
+  const std::vector<Applied>& log() const { return log_; }
+  std::size_t scheduledCount() const { return scheduled_; }
+
+ private:
+  void record(FaultKind kind, const std::string& target, bool begin);
+
+  Simulator& sim_;
+  Hooks hooks_;
+  FaultPlan plan_;
+  std::vector<Applied> log_;
+  std::size_t scheduled_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace microedge

@@ -34,7 +34,7 @@ EventId Simulator::rearmCurrentAfter(SimDuration delay) {
 
 void Simulator::cancel(EventId id) {
   if (!id.valid()) return;
-  // A pending re-arm lives outside the heap until its callback returns.
+  // A pending re-arm lives outside the heaps until its callback returns.
   if (rearmPending_ && id.slot == firingSlot_ && id.seq == rearmSeq_) {
     rearmPending_ = false;
     return;
@@ -42,22 +42,38 @@ void Simulator::cancel(EventId id) {
   if (id.slot >= slots_.size()) return;
   // Stale handle: slot recycled (seq mismatch) or event already fired /
   // cancelled (off-heap). Either way a no-op — nothing leaks.
-  if (slots_[id.slot].seq != id.seq || slotPos_[id.slot] == kNpos) return;
-  heapRemoveAt(slotPos_[id.slot]);
+  const std::uint32_t pos = slotPos_[id.slot];
+  if (slots_[id.slot].seq != id.seq || pos == kNpos) return;
+  if (pos & kFarBit) {
+    heapRemoveAt(far_, kFarBit, pos & ~kFarBit);
+  } else {
+    heapRemoveAt(heap_, 0, pos);
+  }
   releaseSlot(id.slot);
 }
 
+// Returns the heap whose root is the globally next event under (when, seq).
+// The far heap holds events that were distant when scheduled, but time
+// advances: once everything nearer has fired, the far root IS the next
+// event and fires from its own heap — no migration step.
+std::vector<Simulator::HeapEntry>* Simulator::nextHeap() {
+  if (far_.empty()) return heap_.empty() ? nullptr : &heap_;
+  if (heap_.empty()) return &far_;
+  return before(far_[0], heap_[0]) ? &far_ : &heap_;
+}
+
 bool Simulator::fireNext() {
-  if (heap_.empty()) return false;
+  std::vector<HeapEntry>* h = nextHeap();
+  if (h == nullptr) return false;
   assert(firingSlot_ == kNpos && "fireNext is not reentrant");
-  const std::uint32_t si = heap_[0].slot();
-  assert(heap_[0].when >= now_);
-  now_ = heap_[0].when;
+  const std::uint32_t si = (*h)[0].slot();
+  assert((*h)[0].when >= now_);
+  now_ = (*h)[0].when;
   ++fired_;
   // Move the callback out: the callback may schedule events and grow
   // `slots_`, so it must not run from arena storage.
   EventFn fn = std::move(slots_[si].fn);
-  popRoot();
+  popRoot(*h, h == &far_ ? kFarBit : 0);
   // Keep the slot reserved (not on the free list) while the callback runs:
   // a re-arm wants it back, and cancel() of the now-stale id must not see a
   // recycled slot.
@@ -87,7 +103,8 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::runUntil(SimTime deadline) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_[0].when <= deadline) {
+  for (const std::vector<HeapEntry>* h = nextHeap();
+       h != nullptr && (*h)[0].when <= deadline; h = nextHeap()) {
     fireNext();
     ++n;
   }
@@ -119,26 +136,36 @@ void Simulator::releaseSlot(std::uint32_t si) {
 }
 
 void Simulator::heapPush(std::uint32_t si, SimTime when, std::uint64_t seq) {
-  heap_.emplace_back();  // grown before siftUp so positions stay in range
-  siftUp(static_cast<std::uint32_t>(heap_.size() - 1),
-         makeEntry(when, seq, si));
+  // Horizon split: long-dated events (deadline timers, armed fault plans,
+  // slow pollers) stay out of the near heap the hot-path events churn.
+  if (when - now_ >= kFarThreshold) {
+    far_.emplace_back();
+    siftUp(far_, kFarBit, static_cast<std::uint32_t>(far_.size() - 1),
+           makeEntry(when, seq, si));
+  } else {
+    heap_.emplace_back();  // grown before siftUp so positions stay in range
+    siftUp(heap_, 0, static_cast<std::uint32_t>(heap_.size() - 1),
+           makeEntry(when, seq, si));
+  }
 }
 
-void Simulator::siftUp(std::uint32_t pos, HeapEntry e) {
+void Simulator::siftUp(std::vector<HeapEntry>& h, std::uint32_t tag,
+                       std::uint32_t pos, HeapEntry e) {
   while (pos > 0) {
     const std::uint32_t parentPos = (pos - 1) >> 2;
-    const HeapEntry& p = heap_[parentPos];
+    const HeapEntry& p = h[parentPos];
     if (!before(e, p)) break;
-    heap_[pos] = p;
-    slotPos_[p.slot()] = pos;
+    h[pos] = p;
+    slotPos_[p.slot()] = pos | tag;
     pos = parentPos;
   }
-  heap_[pos] = e;
-  slotPos_[e.slot()] = pos;
+  h[pos] = e;
+  slotPos_[e.slot()] = pos | tag;
 }
 
-void Simulator::siftDown(std::uint32_t pos, HeapEntry e) {
-  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+void Simulator::siftDown(std::vector<HeapEntry>& h, std::uint32_t tag,
+                         std::uint32_t pos, HeapEntry e) {
+  const std::uint32_t n = static_cast<std::uint32_t>(h.size());
   for (;;) {
     const std::uint32_t first = (pos << 2) + 1;
     if (first >= n) break;
@@ -147,22 +174,22 @@ void Simulator::siftDown(std::uint32_t pos, HeapEntry e) {
     // children start at (first << 2) + 1.
     const std::uint32_t grand = (first << 2) + 1;
     if (grand < n) {
-      __builtin_prefetch(&heap_[grand]);
-      __builtin_prefetch(&heap_[std::min(grand + 12, n - 1)]);
+      __builtin_prefetch(&h[grand]);
+      __builtin_prefetch(&h[std::min(grand + 12, n - 1)]);
     }
     // The four children are adjacent; scan for the minimum.
     std::uint32_t best = first;
     const std::uint32_t end = std::min(first + 4, n);
     for (std::uint32_t c = first + 1; c < end; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
+      if (before(h[c], h[best])) best = c;
     }
-    if (!before(heap_[best], e)) break;
-    heap_[pos] = heap_[best];
-    slotPos_[heap_[pos].slot()] = pos;
+    if (!before(h[best], e)) break;
+    h[pos] = h[best];
+    slotPos_[h[pos].slot()] = pos | tag;
     pos = best;
   }
-  heap_[pos] = e;
-  slotPos_[e.slot()] = pos;
+  h[pos] = e;
+  slotPos_[e.slot()] = pos | tag;
 }
 
 // Bottom-up pop (Wegener): the replacement entry comes from the deepest
@@ -170,10 +197,10 @@ void Simulator::siftDown(std::uint32_t pos, HeapEntry e) {
 // node on the way down is wasted work. Instead, walk the min-child path to a
 // leaf unconditionally (3 compares per level, no data-dependent exit branch)
 // and sift the replacement up from that leaf — expected O(1) correction.
-void Simulator::popRoot() {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+void Simulator::popRoot(std::vector<HeapEntry>& h, std::uint32_t tag) {
+  const HeapEntry last = h.back();
+  h.pop_back();
+  const std::uint32_t n = static_cast<std::uint32_t>(h.size());
   if (n == 0) return;
   std::uint32_t hole = 0;
   for (;;) {
@@ -181,45 +208,53 @@ void Simulator::popRoot() {
     if (first >= n) break;
     const std::uint32_t grand = (first << 2) + 1;
     if (grand < n) {
-      __builtin_prefetch(&heap_[grand]);
-      __builtin_prefetch(&heap_[std::min(grand + 12, n - 1)]);
+      __builtin_prefetch(&h[grand]);
+      __builtin_prefetch(&h[std::min(grand + 12, n - 1)]);
     }
     std::uint32_t best = first;
     const std::uint32_t end = std::min(first + 4, n);
     for (std::uint32_t c = first + 1; c < end; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
+      if (before(h[c], h[best])) best = c;
     }
-    heap_[hole] = heap_[best];
-    slotPos_[heap_[hole].slot()] = hole;
+    h[hole] = h[best];
+    slotPos_[h[hole].slot()] = hole | tag;
     hole = best;
   }
-  siftUp(hole, last);
+  siftUp(h, tag, hole, last);
 }
 
-void Simulator::heapRemoveAt(std::uint32_t pos) {
-  HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (pos < heap_.size()) {
+void Simulator::heapRemoveAt(std::vector<HeapEntry>& h, std::uint32_t tag,
+                             std::uint32_t pos) {
+  HeapEntry last = h.back();
+  h.pop_back();
+  if (pos < h.size()) {
     // The replacement may belong above or below the vacated position.
-    if (pos > 0 && before(last, heap_[(pos - 1) >> 2])) {
-      siftUp(pos, last);
+    if (pos > 0 && before(last, h[(pos - 1) >> 2])) {
+      siftUp(h, tag, pos, last);
     } else {
-      siftDown(pos, last);
+      siftDown(h, tag, pos, last);
     }
   }
 }
 
 bool Simulator::checkInvariants() const {
-  for (std::uint32_t pos = 0; pos < heap_.size(); ++pos) {
-    const HeapEntry& e = heap_[pos];
-    const std::uint32_t si = e.slot();
-    const std::uint64_t seq = e.seqSlot >> kSlotBits;
-    if (si >= slots_.size()) return false;
-    if (slotPos_[si] != pos) return false;
-    if (slots_[si].seq != seq || seq == 0) return false;
-    if (!slots_[si].fn) return false;
-    if (pos > 0 && before(e, heap_[(pos - 1) >> 2])) return false;
-  }
+  const auto checkHeap = [this](const std::vector<HeapEntry>& h,
+                                std::uint32_t tag) {
+    for (std::uint32_t pos = 0; pos < h.size(); ++pos) {
+      const HeapEntry& e = h[pos];
+      const std::uint32_t si = e.slot();
+      const std::uint64_t seq = e.seqSlot >> kSlotBits;
+      if (si >= slots_.size()) return false;
+      if (slotPos_[si] != (pos | tag)) return false;
+      if (slots_[si].seq != seq || seq == 0) return false;
+      if (!slots_[si].fn) return false;
+      if (pos > 0 && before(e, h[(pos - 1) >> 2])) return false;
+    }
+    return true;
+  };
+  // No ordering constraint holds BETWEEN the heaps (a far event may now be
+  // the global minimum); each must merely be a valid heap on its own.
+  if (!checkHeap(heap_, 0) || !checkHeap(far_, kFarBit)) return false;
   if (slotPos_.size() != slots_.size()) return false;
   std::size_t freeCount = 0;
   for (std::uint32_t si = freeHead_; si != kNpos; si = slots_[si].nextFree) {
@@ -228,7 +263,7 @@ bool Simulator::checkInvariants() const {
     if (++freeCount > slots_.size()) return false;  // cycle guard
   }
   const std::size_t reserved = firingSlot_ != kNpos ? 1 : 0;
-  return heap_.size() + freeCount + reserved == slots_.size();
+  return heap_.size() + far_.size() + freeCount + reserved == slots_.size();
 }
 
 void PeriodicTask::startAt(SimTime first) {

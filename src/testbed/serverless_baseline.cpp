@@ -82,6 +82,7 @@ Status ServerlessDispatcher::invoke(const std::string& clientNode,
                                   modelInfo.postprocessLatency,
                                   [this, b, done = std::move(done)]() mutable {
                                     b->completed = sim_.now();
+                                    b->outcome = FrameOutcome::kCompleted;
                                     if (done) done(*b);
                                   });
                             });

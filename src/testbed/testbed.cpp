@@ -76,7 +76,16 @@ Testbed::Testbed(TestbedConfig config)
       });
 
   FailureRecovery::Callbacks recovery;
-  recovery.loadModel = callbacksLoadModel();
+  // Recovery replans race with hung-but-alive services: a transient Load
+  // failure retries in the background with bounded backoff (optimistically
+  // reported as success to the replanner); a missing service is permanent
+  // and the error propagates so recovery evicts instead of waiting.
+  recovery.loadModel = [this](const LoadCommand& command) {
+    Status s = dataPlane_->executeLoad(command);
+    if (s.isOk() || dataPlane_->service(command.tpuId) == nullptr) return s;
+    dataPlane_->executeLoadWithRetry(command, config_.loadRetryBackoff, {});
+    return Status::ok();
+  };
   recovery.reconfigureLb = [this](std::uint64_t uid, const LbConfig& config) {
     reconfigurePodLb(uid, config);
   };
@@ -155,8 +164,16 @@ StatusOr<std::unique_ptr<TpuClient>> Testbed::deployClient(
           ? topology_.nodeOfTpu(allocation->shares.front().tpuId)
           : pod->nodeName;
 
-  auto client = dataPlane_->makeClient(clientNode, deployment.model,
-                                       config_.spread);
+  TpuClient::Config clientConfig;
+  clientConfig.clientNode = clientNode;
+  clientConfig.model = deployment.model;
+  clientConfig.spread = config_.spread;
+  clientConfig.frameDeadline = deployment.frameDeadline > SimDuration::zero()
+                                   ? deployment.frameDeadline
+                                   : config_.frameDeadline;
+  clientConfig.maxFailovers = config_.maxFailovers;
+  clientConfig.health = config_.lbHealth;
+  auto client = dataPlane_->makeClient(std::move(clientConfig));
   const LbConfig* lb = scheduler_->lbConfig(*uid);
   if (lb == nullptr) {
     (void)api_->deletePod(*uid);
@@ -533,6 +550,41 @@ Testbed::NodeFailureReport Testbed::failNode(const std::string& nodeName) {
     report.recovery.reshapedPods += r.reshapedPods;
   }
   return report;
+}
+
+FaultInjector& Testbed::armFaults(const FaultPlan& plan) {
+  assert(faultInjector_ == nullptr && "one fault plan per testbed");
+  FaultInjector::Hooks hooks;
+  // Crash, data-plane edge: the service vanishes; registered clients fail
+  // over immediately. Pool + recovery learn nothing until detection.
+  hooks.tpuFailDataPlane = [this](const std::string& tpuId) {
+    dataPlane_->removeService(tpuId);
+  };
+  // Crash, control-plane edge: health checks caught up — full failTpu path
+  // (removeService is an idempotent no-op by now).
+  hooks.tpuFailControlPlane = [this](const std::string& tpuId) {
+    (void)failTpu(tpuId);
+  };
+  hooks.nodeFailDataPlane = [this](const std::string& nodeName) {
+    RpiNode* node = topology_.findNode(nodeName);
+    if (node == nullptr) return;
+    for (TpuDevice* tpu : node->tpus()) dataPlane_->removeService(tpu->id());
+  };
+  hooks.nodeFailControlPlane = [this](const std::string& nodeName) {
+    (void)failNode(nodeName);
+  };
+  hooks.setTpuHung = [this](const std::string& tpuId, bool hung) {
+    TpuService* service = dataPlane_->service(tpuId);
+    if (service != nullptr) service->setHung(hung);
+  };
+  hooks.setTransportFault = [this](double loss, double latencyMultiplier,
+                                   std::uint64_t seed) {
+    dataPlane_->transport().setFault(loss, latencyMultiplier, seed);
+  };
+  hooks.clearTransportFault = [this] { dataPlane_->transport().clearFault(); };
+  faultInjector_ = std::make_unique<FaultInjector>(sim_, std::move(hooks));
+  faultInjector_->arm(plan);
+  return *faultInjector_;
 }
 
 Defragmenter::Report Testbed::defragment(bool full) {

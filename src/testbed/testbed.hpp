@@ -32,6 +32,8 @@
 #include "metrics/utilization.hpp"
 #include "models/zoo.hpp"
 #include "orch/api_server.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/backoff.hpp"
 #include "util/rng.hpp"
 
 namespace microedge {
@@ -49,6 +51,14 @@ struct TestbedConfig {
   SimDuration reclamationPeriod = seconds(2);
   SimDuration utilizationWindow = seconds(60);
   std::uint64_t seed = 1234;
+  // --- Data-plane reliability defaults (per-deployment overridable) -------
+  // Per-frame deadline; zero keeps the seed behaviour (no timer, no shed).
+  SimDuration frameDeadline{};
+  std::uint32_t maxFailovers = 1;
+  LbHealthConfig lbHealth{};
+  // Backoff for control-plane Load retries against transiently hung
+  // services (failure recovery / defrag replans).
+  ExpBackoff loadRetryBackoff{};
 };
 
 // Two-stage multi-model pipeline (gate model on every frame, expert model on
@@ -81,6 +91,8 @@ struct CameraDeployment {
   long cpuMillicores = 1000;
   long memoryMb = 512;
   SimDuration latencyBound{};  // 0 disables the latency SLO check
+  // Per-deployment frame deadline; zero falls back to the testbed default.
+  SimDuration frameDeadline{};
 };
 
 class Testbed {
@@ -159,6 +171,15 @@ class Testbed {
   // recovery.
   NodeFailureReport failNode(const std::string& nodeName);
 
+  // Arms a replayable fault plan against this stack: crash/death events hit
+  // the data plane at t (services stop answering; clients fail over against
+  // masked health state) and the control plane at t + detectionDelay
+  // (failure recovery replans, weights push). Hangs flip TPU Services to
+  // kUnavailable; transport faults drive the shared SimTransport. One plan
+  // per testbed instance.
+  FaultInjector& armFaults(const FaultPlan& plan);
+  FaultInjector* faultInjector() { return faultInjector_.get(); }
+
   // --- Results ------------------------------------------------------------
   double meanTpuUtilization() const { return utilization_->overallMean(); }
   // SLO summary over every pipeline that ever ran (live + retired).
@@ -216,6 +237,7 @@ class Testbed {
   std::unique_ptr<FailureRecovery> failureRecovery_;
   std::unique_ptr<Defragmenter> defragmenter_;
   std::unique_ptr<DataPlane> dataPlane_;
+  std::unique_ptr<FaultInjector> faultInjector_;
   std::unique_ptr<UtilizationTracker> utilization_;
   std::unique_ptr<PeriodicTask> reclamationTask_;
   bool backgroundStarted_ = false;

@@ -1,0 +1,28 @@
+#pragma once
+
+// Bounded exponential backoff schedule: base * 2^attempt, saturating at
+// `cap`, for at most `maxAttempts` retries. Plain value type — callers
+// carry it by copy and index it with the attempt number, so retry loops
+// stay stateless and replay-deterministic.
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace microedge {
+
+struct ExpBackoff {
+  SimDuration base = milliseconds(10);
+  SimDuration cap = seconds(2);
+  std::uint32_t maxAttempts = 5;
+
+  // Delay before retry number `attempt` (0-based).
+  SimDuration delay(std::uint32_t attempt) const {
+    if (base <= SimDuration::zero()) return SimDuration::zero();
+    SimDuration d = base;
+    for (std::uint32_t i = 0; i < attempt && d < cap; ++i) d += d;
+    return d < cap ? d : cap;
+  }
+};
+
+}  // namespace microedge

@@ -80,6 +80,19 @@ class SlabPool {
     return true;
   }
 
+  // Visits every live slot as (Handle, T&). `fn` must not acquire or
+  // release slots while iterating — snapshot handles first if it needs to.
+  // O(capacity); meant for rare lifecycle sweeps (service removal), never
+  // the per-frame path.
+  template <typename Fn>
+  void forEachLive(Fn&& fn) {
+    for (std::uint32_t i = 0; i < generation_.size(); ++i) {
+      if ((generation_[i] & 1u) != 0u) {
+        fn(Handle{i, generation_[i]}, *slotPtr(i));
+      }
+    }
+  }
+
   std::size_t inUse() const { return inUse_; }
   std::size_t capacity() const { return generation_.size(); }
 

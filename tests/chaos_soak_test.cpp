@@ -1,0 +1,258 @@
+// Chaos soak: N seeded random fault plans against the full stack. Each run
+// asserts the reliability invariants the paper's recovery story depends on:
+//   - every submitted frame reaches exactly one terminal outcome (no frame
+//     is silently lost, no context slot leaks);
+//   - TPU units are conserved (Σ tracked allocations == pool load, no TPU
+//     oversubscribed, parameter memory within capacity);
+//   - health masks converge once faults clear (live streams keep completing);
+//   - the same plan replayed produces the identical applied-fault log and
+//     identical per-stream outcome totals (simulation determinism).
+//
+// Seed count is env-tunable: MICROEDGE_CHAOS_SEEDS (default 50). CI runs a
+// smaller N under ASan/UBSan via the `chaos` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "testbed/testbed.hpp"
+
+namespace microedge {
+namespace {
+
+int seedCount() {
+  const char* env = std::getenv("MICROEDGE_CHAOS_SEEDS");
+  if (env != nullptr && std::atoi(env) > 0) return std::atoi(env);
+  return 50;
+}
+
+TestbedConfig soakConfig() {
+  TestbedConfig config;
+  config.topology.vRpiCount = 4;
+  config.topology.tRpiCount = 4;  // 4 TPUs; plans kill at most 1
+  config.frameDeadline = milliseconds(400);
+  config.maxFailovers = 1;
+  config.lbHealth.failureThreshold = 2;
+  config.lbHealth.maskDuration = milliseconds(200);
+  config.reclamationPeriod = milliseconds(500);
+  return config;
+}
+
+FaultPlan soakPlan(std::uint64_t seed, Testbed& testbed) {
+  FaultPlan::RandomConfig random;
+  for (const auto& tpu : testbed.topology().tpus()) {
+    random.tpus.push_back(tpu->id());
+  }
+  random.earliest = seconds(1);
+  random.horizon = seconds(6);
+  random.maxTpuCrashes = 1;
+  random.maxTpuHangs = 2;
+  random.maxTransportFaults = 2;
+  return FaultPlan::random(seed, random);
+}
+
+struct CameraTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::array<std::uint64_t, kFrameOutcomeCount> outcomes{};
+
+  friend bool operator==(const CameraTotals& a, const CameraTotals& b) {
+    return a.submitted == b.submitted && a.completed == b.completed &&
+           a.outcomes == b.outcomes;
+  }
+};
+
+struct SoakRun {
+  std::string planJson;  // the reproducer for a failing seed
+  std::vector<FaultInjector::Applied> faultLog;
+  std::map<std::string, CameraTotals> cameras;
+  std::size_t transportDrops = 0;
+};
+
+// One full run: deploy, arm, soak, drain, check invariants, return totals.
+SoakRun runSoak(std::uint64_t seed) {
+  Testbed testbed(soakConfig());
+  for (int i = 0; i < 5; ++i) {
+    CameraDeployment deployment;
+    deployment.name = "cam-" + std::to_string(i);
+    deployment.model = zoo::kSsdMobileNetV2;
+    EXPECT_TRUE(testbed.deployCamera(deployment).isOk()) << "seed " << seed;
+  }
+  FaultPlan plan = soakPlan(seed, testbed);
+  FaultInjector& injector = testbed.armFaults(plan);
+  SoakRun result;
+  result.planJson = plan.toJson();
+
+  // Soak through every fault window ([1 s, 6 s] + <=1.5 s + detection),
+  // then a calm tail during which masks must converge.
+  testbed.run(seconds(10));
+
+  // Convergence: live streams (evictions are legal under capacity loss)
+  // keep completing frames after the last fault cleared.
+  std::map<std::string, std::uint64_t> beforeTail;
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    beforeTail[camera->name()] = camera->client().completedCount();
+  }
+  testbed.run(seconds(2));
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    EXPECT_GT(camera->client().completedCount(), beforeTail[camera->name()])
+        << "seed " << seed << ": live stream " << camera->name()
+        << " stopped completing after faults cleared";
+    EXPECT_EQ(camera->client().lbService().maskedCount(), 0u)
+        << "seed " << seed << ": stale health mask on " << camera->name();
+  }
+
+  // Drain: stop frame generation and let in-flight work terminate.
+  for (CameraPipeline* camera : testbed.liveCameras()) camera->stop();
+  testbed.run(seconds(2));
+
+  result.faultLog = injector.log();
+  result.transportDrops = testbed.dataPlane().transport().droppedMessages();
+  EXPECT_EQ(result.faultLog.size(), injector.scheduledCount())
+      << "seed " << seed << ": some scheduled fault edges never fired";
+
+  for (const CameraPipeline* camera : testbed.allCameras()) {
+    const TpuClient& client = camera->client();
+    CameraTotals totals;
+    totals.submitted = client.submittedCount();
+    totals.completed = client.completedCount();
+    std::uint64_t terminal = 0;
+    for (std::size_t i = 0; i < kFrameOutcomeCount; ++i) {
+      totals.outcomes[i] =
+          client.outcomeCount(static_cast<FrameOutcome>(i));
+      if (i != 0) terminal += totals.outcomes[i];
+    }
+    // Exactly-one-terminal-state: Σ terminal outcomes == submissions, no
+    // in-flight residue, no leaked context slots.
+    EXPECT_EQ(totals.outcomes[0], 0u) << "seed " << seed;
+    EXPECT_EQ(terminal, totals.submitted)
+        << "seed " << seed << ": " << camera->name();
+    EXPECT_EQ(client.outstanding(), 0u)
+        << "seed " << seed << ": " << camera->name();
+    EXPECT_EQ(client.contextsInFlight(), 0u)
+        << "seed " << seed << ": " << camera->name();
+    // SLO accounting saw every terminal frame too.
+    EXPECT_EQ(camera->slo().submitted(),
+              camera->slo().completed() + camera->slo().dropped())
+        << "seed " << seed << ": " << camera->name();
+    result.cameras[camera->name()] = totals;
+  }
+
+  // Unit conservation across crash + recovery + eviction churn.
+  std::int64_t trackedMilli = 0;
+  for (const auto& [uid, allocation] :
+       testbed.reclamation().trackedAllocations()) {
+    trackedMilli += allocation.totalUnits().milli();
+    for (const TpuShare& share : allocation.shares) {
+      EXPECT_NE(testbed.pool().find(share.tpuId), nullptr)
+          << "seed " << seed << ": tracked share on a TPU not in the pool";
+    }
+  }
+  EXPECT_EQ(trackedMilli, testbed.pool().totalLoad().milli())
+      << "seed " << seed;
+  for (const TpuState& tpu : testbed.pool().tpus()) {
+    EXPECT_LE(tpu.currentLoad(), TpuUnit::full()) << "seed " << seed;
+    EXPECT_LE(tpu.usedParamMb(testbed.zoo()), tpu.paramCapacityMb() + 1e-9)
+        << "seed " << seed;
+  }
+  return result;
+}
+
+TEST(ChaosSoakTest, EveryFrameTerminatesAcrossSeeds) {
+  const int seeds = seedCount();
+  std::uint64_t totalFrames = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SoakRun run = runSoak(static_cast<std::uint64_t>(seed));
+    for (const auto& [name, totals] : run.cameras) {
+      totalFrames += totals.submitted;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      FAIL() << "invariant violated at seed " << seed
+             << "; reproduce with this plan: " << run.planJson;
+    }
+  }
+  // Sanity: the soak exercised real traffic, not an idle cluster.
+  EXPECT_GT(totalFrames, static_cast<std::uint64_t>(seeds) * 100u);
+}
+
+TEST(ChaosSoakTest, ReplayIsDeterministic) {
+  SoakRun first = runSoak(424242);
+  SoakRun second = runSoak(424242);
+  ASSERT_EQ(first.faultLog.size(), second.faultLog.size());
+  for (std::size_t i = 0; i < first.faultLog.size(); ++i) {
+    EXPECT_TRUE(first.faultLog[i] == second.faultLog[i]) << "edge " << i;
+  }
+  EXPECT_EQ(first.transportDrops, second.transportDrops);
+  ASSERT_EQ(first.cameras.size(), second.cameras.size());
+  for (const auto& [name, totals] : first.cameras) {
+    ASSERT_TRUE(second.cameras.count(name)) << name;
+    EXPECT_TRUE(second.cameras.at(name) == totals)
+        << name << ": outcome totals diverged between identical runs";
+  }
+}
+
+// Acceptance: killing 1 of K TPUs mid-trace loses only detection-window
+// frames. With fail-fast broadcasts + client failover the loss is near
+// zero; it must never exceed a few frames per stream.
+TEST(ChaosSoakTest, SingleTpuFailureLossBoundedByDetectionWindow) {
+  Testbed testbed(soakConfig());
+  for (int i = 0; i < 5; ++i) {
+    CameraDeployment deployment;
+    deployment.name = "cam-" + std::to_string(i);
+    deployment.model = zoo::kSsdMobileNetV2;
+    ASSERT_TRUE(testbed.deployCamera(deployment).isOk());
+  }
+  FaultPlan plan;
+  plan.detectionDelay = milliseconds(750);
+  plan.events.push_back(
+      FaultEvent{seconds(3), FaultKind::kTpuCrash, "tpu-00", {}, 0.0});
+  testbed.armFaults(plan);
+  testbed.run(seconds(8));
+
+  // 5 * 0.35 units fit the 3 survivors: nobody is evicted.
+  EXPECT_EQ(testbed.liveCameraCount(), 5u);
+  EXPECT_EQ(testbed.pool().size(), 3u);
+  // Loss bound: the worst case is a stream whose ENTIRE share lived on the
+  // dead TPU — its LB config has no survivor to fail over to, so every
+  // frame submitted inside the 0.75 s detection window drops explicitly
+  // (kDroppedDeadTarget) until recovery pushes fresh weights. That is
+  // 15 fps * 0.75 s ~= 12 frames, plus the couple in flight at the crash
+  // instant; streams with a surviving target lose at most the in-flight
+  // ones. Nothing may be lost silently and nothing beyond the window.
+  const std::uint64_t windowFrames =
+      static_cast<std::uint64_t>(15.0 * 0.75) + 4;  // fps * detection + slack
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    const TpuClient& client = camera->client();
+    EXPECT_LE(client.failedCount(), windowFrames) << camera->name();
+    EXPECT_GT(client.completedCount(), 60u) << camera->name();
+    // Every loss is an explicit terminal outcome, not a vanished frame
+    // (only the frame currently on the wire may still be open mid-run).
+    EXPECT_LE(client.outstanding(), 2u) << camera->name();
+  }
+
+  // Post-failover SLO: streams complete at full rate on the survivors, and
+  // the loss stays confined to the detection window — zero new failures
+  // once the replan landed.
+  std::map<std::string, std::uint64_t> before;
+  std::map<std::string, std::uint64_t> failedAtRecovery;
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    before[camera->name()] = camera->slo().completed();
+    failedAtRecovery[camera->name()] = camera->client().failedCount();
+  }
+  testbed.run(seconds(4));
+  for (CameraPipeline* camera : testbed.liveCameras()) {
+    std::uint64_t delta = camera->slo().completed() - before[camera->name()];
+    EXPECT_GE(delta, 50u) << camera->name();  // ~15 fps * 4 s, some slack
+    EXPECT_EQ(camera->client().failedCount(),
+              failedAtRecovery[camera->name()])
+        << camera->name() << ": frames lost after failover completed";
+  }
+}
+
+}  // namespace
+}  // namespace microedge

@@ -144,6 +144,107 @@ TEST_F(FailureRecoveryUnitTest, LoadFailureDuringRecoveryEvicts) {
   EXPECT_TRUE(pool_.totalLoad().isZero());
 }
 
+// ---- Ordering contract -----------------------------------------------------
+// failTpu / failNode promise: (1) remove the TPU from the pool BEFORE
+// onTpuFailure, (2) reclaim dead pods BEFORE replanning TPU tenants. These
+// tests pin down what happens when a caller gets the order wrong: the
+// outcome may be suboptimal (avoidable evictions, replans onto the doomed
+// TPU) but it is always *safe* — conservation and no-oversubscription hold.
+
+TEST_F(FailureRecoveryUnitTest, RecoveryWithoutPoolRemovalIsSafe) {
+  admitAndTrack(1, zoo::kMobileNetV1, 0.5);  // tpu-0
+  FailureRecovery recovery = makeRecovery();
+  // Wrong order: the "failed" TPU is still in the pool, so the replan may
+  // legally land right back on it — which is exactly why failTpu removes
+  // the TPU first. The operation must still be internally consistent.
+  auto report = recovery.onTpuFailure("tpu-0");
+  EXPECT_EQ(report.affectedPods, 1u);
+  EXPECT_EQ(report.recoveredPods + report.evictedPods, 1u);
+  std::int64_t tracked = 0;
+  for (const auto& [uid, allocation] : reclamation_->trackedAllocations()) {
+    tracked += allocation.totalUnits().milli();
+  }
+  EXPECT_EQ(tracked, pool_.totalLoad().milli());
+  for (const TpuState& tpu : pool_.tpus()) {
+    EXPECT_LE(tpu.currentLoad(), TpuUnit::full());
+  }
+}
+
+TEST_F(FailureRecoveryUnitTest, EvictedPodNeedsNoLaterReclamation) {
+  admitAndTrack(1, zoo::kMobileNetV1, 1.0);
+  admitAndTrack(2, zoo::kMobileNetV1, 1.0);
+  admitAndTrack(3, zoo::kMobileNetV1, 1.0);
+  FailureRecovery recovery = makeRecovery();
+  killTpu("tpu-1");
+  auto report = recovery.onTpuFailure("tpu-1");
+  ASSERT_EQ(report.evictedPods, 1u);
+  std::int64_t loadAfterRecovery = pool_.totalLoad().milli();
+
+  // The evicted pod was already released + untracked by recovery; a later
+  // reclamation poll that sees it dead must not double-release its units.
+  std::size_t reclaimed = reclamation_->pollOnce(
+      [](std::uint64_t uid) { return uid != 2; });
+  EXPECT_EQ(reclaimed, 0u);
+  EXPECT_EQ(pool_.totalLoad().milli(), loadAfterRecovery);
+}
+
+TEST_F(FailureRecoveryUnitTest, RecoveryBeforeReclamationIsSafeButWasteful) {
+  admitAndTrack(1, zoo::kMobileNetV1, 1.0);  // tpu-0; pod already dead
+  admitAndTrack(2, zoo::kMobileNetV1, 1.0);  // tpu-1
+  admitAndTrack(3, zoo::kMobileNetV1, 0.5);  // tpu-2
+  FailureRecovery recovery = makeRecovery();
+  killTpu("tpu-2");
+  // Wrong order: replanning before the dead pod 1 was reclaimed. Pod 3's
+  // 0.5 units find no residual (the dead pod's stale units block tpu-0), so
+  // it is evicted — avoidable, but never an oversubscription.
+  auto report = recovery.onTpuFailure("tpu-2");
+  EXPECT_EQ(report.affectedPods, 1u);
+  EXPECT_EQ(report.evictedPods, 1u);
+  for (const TpuState& tpu : pool_.tpus()) {
+    EXPECT_LE(tpu.currentLoad(), TpuUnit::full());
+  }
+  // The late reclamation still converges to a consistent state.
+  EXPECT_EQ(reclamation_->pollOnce([](std::uint64_t uid) { return uid != 1; }),
+            1u);
+  std::int64_t tracked = 0;
+  for (const auto& [uid, allocation] : reclamation_->trackedAllocations()) {
+    tracked += allocation.totalUnits().milli();
+  }
+  EXPECT_EQ(tracked, pool_.totalLoad().milli());
+}
+
+TEST_F(FailureRecoveryUnitTest, ReclamationBeforeRecoveryAvoidsEviction) {
+  admitAndTrack(1, zoo::kMobileNetV1, 1.0);  // tpu-0; pod already dead
+  admitAndTrack(2, zoo::kMobileNetV1, 1.0);  // tpu-1
+  admitAndTrack(3, zoo::kMobileNetV1, 0.5);  // tpu-2
+  FailureRecovery recovery = makeRecovery();
+  killTpu("tpu-2");
+  // Right order (what failNode does): reclaim first, then replan — the dead
+  // pod's units are free capacity and pod 3 survives.
+  EXPECT_EQ(reclamation_->pollOnce([](std::uint64_t uid) { return uid != 1; }),
+            1u);
+  auto report = recovery.onTpuFailure("tpu-2");
+  EXPECT_EQ(report.affectedPods, 1u);
+  EXPECT_EQ(report.recoveredPods, 1u);
+  EXPECT_EQ(report.evictedPods, 0u);
+  EXPECT_TRUE(reclamation_->isTracked(3));
+}
+
+TEST_F(FailureRecoveryUnitTest, SecondRecoveryForSameTpuIsNoop) {
+  admitAndTrack(1, zoo::kMobileNetV1, 0.5);
+  FailureRecovery recovery = makeRecovery();
+  killTpu("tpu-0");
+  auto first = recovery.onTpuFailure("tpu-0");
+  EXPECT_EQ(first.recoveredPods, 1u);
+  std::int64_t loadAfter = pool_.totalLoad().milli();
+  // Re-announcing the same failure (e.g. data-plane and control-plane edges
+  // of the fault injector both funnel here) finds nothing left to do.
+  auto second = recovery.onTpuFailure("tpu-0");
+  EXPECT_EQ(second.affectedPods, 0u);
+  EXPECT_EQ(pool_.totalLoad().milli(), loadAfter);
+  EXPECT_TRUE(reclamation_->isTracked(1));
+}
+
 // ---- Full-stack failover through the testbed -------------------------------
 
 TEST(FailoverIntegrationTest, StreamsKeepFlowingAfterTpuLoss) {
