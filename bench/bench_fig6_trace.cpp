@@ -6,59 +6,63 @@
 // {workload partitioning} x {co-compiling}. Prints Fig. 6a (per-minute mean
 // TPU utilization) and Fig. 6b (camera instances served per minute) as
 // aligned series, plus acceptance totals.
+//
+// The five variants are independent 20-simulated-minute replays, so they
+// run as a sweep grid: `--threads=5` replays them concurrently; the default
+// --threads=1 is the serial path with byte-identical results.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "metrics/report.hpp"
-#include "testbed/scenarios.hpp"
+#include "sweep/drivers.hpp"
+#include "sweep/runner.hpp"
 #include "util/strings.hpp"
 
 using namespace microedge;
 
-namespace {
-
-struct Variant {
-  std::string label;
-  SchedulingMode mode;
-  bool coCompile;
-};
-
-}  // namespace
-
-int main() {
-  const SimDuration kHorizon = minutes(20);
-  const std::vector<Variant> variants = {
-      {"baseline", SchedulingMode::kBaselineDedicated, true},
-      {"WP+CC", SchedulingMode::kMicroEdgeWp, true},
-      {"WP only", SchedulingMode::kMicroEdgeWp, false},
-      {"CC only", SchedulingMode::kMicroEdgeNoWp, true},
-      {"neither", SchedulingMode::kMicroEdgeNoWp, false},
-  };
-
-  std::vector<TraceRunResult> results;
-  for (const Variant& variant : variants) {
-    TraceScenarioConfig config;
-    config.trace = MafTraceGenerator::paperDefaults();
-    config.trace.horizon = kHorizon;
-    config.trace.seed = 2022;
-    config.capacityUnits = 10.0;  // oversubscribes the 6-TPU pool at peaks
-    config.sampleWindow = minutes(1);
-    config.testbed.mode = variant.mode;
-    config.testbed.enableCoCompile = variant.coCompile;
-    results.push_back(runTraceScenario(config));
+int main(int argc, char** argv) {
+  unsigned threads = 1;  // serial path by default; --threads=N parallelizes
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      threads = static_cast<unsigned>(std::stoul(arg.substr(prefix.size())));
+    }
   }
 
+  SweepGrid grid = fig6SweepGrid();
+  StatusOr<SweepPointFn> driver = findSweepDriver(grid.driver());
+  SweepOptions options;
+  options.threads = threads;
+  options.progress = threads > 1;
+  StatusOr<SweepReport> report = runSweep(grid, *driver, options);
+  if (!report.isOk()) {
+    std::cerr << "fig6 sweep failed: " << report.status().toString() << "\n";
+    return 1;
+  }
+  const std::vector<JsonValue>& points = report->merged.find("points")->items();
+
   std::vector<std::string> header = {"minute"};
-  for (const Variant& v : variants) header.push_back(v.label);
+  for (const JsonValue& p : points) {
+    header.push_back(p.find("config")->getString("label", "?"));
+  }
+
+  std::size_t windows = 0;
+  for (const JsonValue& p : points) {
+    windows = std::max(
+        windows, p.find("result")->find("utilization_per_window")->size());
+  }
 
   std::cout << banner("Fig. 6a — mean TPU utilization per minute");
   TextTable utilization(header);
-  std::size_t windows = results.front().utilizationPerWindow.size();
   for (std::size_t w = 0; w < windows; ++w) {
     std::vector<std::string> row = {std::to_string(w + 1)};
-    for (const TraceRunResult& r : results) {
-      row.push_back(w < r.utilizationPerWindow.size()
-                        ? fmtDouble(r.utilizationPerWindow[w], 2)
+    for (const JsonValue& p : points) {
+      const JsonValue& series = *p.find("result")->find("utilization_per_window");
+      row.push_back(w < series.size()
+                        ? fmtDouble(series.items()[w].asDouble(), 2)
                         : "-");
     }
     utilization.addRow(std::move(row));
@@ -69,9 +73,10 @@ int main() {
   TextTable active(header);
   for (std::size_t w = 0; w < windows; ++w) {
     std::vector<std::string> row = {std::to_string(w + 1)};
-    for (const TraceRunResult& r : results) {
-      row.push_back(w < r.activePerWindow.size()
-                        ? std::to_string(r.activePerWindow[w])
+    for (const JsonValue& p : points) {
+      const JsonValue& series = *p.find("result")->find("active_per_window");
+      row.push_back(w < series.size()
+                        ? std::to_string(series.items()[w].asInt())
                         : "-");
     }
     active.addRow(std::move(row));
@@ -81,11 +86,14 @@ int main() {
   std::cout << banner("Acceptance totals over the trace");
   TextTable totals({"config", "attempted", "accepted", "rejected",
                     "streams meeting SLO"});
-  for (std::size_t v = 0; v < variants.size(); ++v) {
-    const TraceRunResult& r = results[v];
-    totals.addRow({variants[v].label, std::to_string(r.attempted),
-                   std::to_string(r.accepted), std::to_string(r.rejected),
-                   strCat(r.slo.streamsMeetingSlo, "/", r.slo.streams)});
+  for (const JsonValue& p : points) {
+    const JsonValue& r = *p.find("result");
+    totals.addRow({p.find("config")->getString("label", "?"),
+                   std::to_string(r.getInt("attempted", 0)),
+                   std::to_string(r.getInt("accepted", 0)),
+                   std::to_string(r.getInt("rejected", 0)),
+                   strCat(r.getInt("streams_meeting_slo", 0), "/",
+                          r.getInt("streams", 0))});
   }
   std::cout << totals.render();
 
@@ -94,5 +102,9 @@ int main() {
                "WP+CC serves the most cameras; CC alone beats WP alone\n"
                "(a TPU hosting multiple models serves more streams than one\n"
                "stream spread over many TPUs).\n";
+
+  std::cerr << "\n[" << report->totalPoints << " grid points, " << threads
+            << " thread(s), " << fmtDouble(report->wallSeconds, 2)
+            << "s wall]\n";
   return 0;
 }

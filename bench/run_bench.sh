@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json]
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json]
 #   BUILD_DIR=build   build tree containing bench/bench_micro_sim,
 #                     bench/bench_micro_scheduler, bench/bench_micro_dataplane
 #                     and (with BENCH_CHAOS=1) bench/bench_micro_chaos
@@ -9,6 +9,12 @@
 #   BENCH_CHAOS=1     also run the fault-injection suite: frames/s, p99
 #                     completion latency and allocs/frame with the injector
 #                     off vs armed-idle vs actively firing (-> BENCH_chaos.json)
+#   BENCH_SWEEP=1     (default) run the experiment-sweep suite: the Fig. 5
+#                     grid through the work-stealing sweep runner
+#                     (-> BENCH_sweep.json, deterministically merged — the
+#                     bytes are identical for any thread/shard count)
+#   BENCH_SWEEP_GRID=fig5      built-in grid or JSON grid file for the sweep
+#   BENCH_SWEEP_THREADS=nproc  sweep worker threads
 #
 # The JSON lands at BENCH_sim.json / BENCH_sched.json / BENCH_dataplane.json
 # by default so the perf trajectory of the event engine, the admission
@@ -26,6 +32,7 @@ SIM_OUT="${1:-BENCH_sim.json}"
 SCHED_OUT="${2:-BENCH_sched.json}"
 DP_OUT="${3:-BENCH_dataplane.json}"
 CHAOS_OUT="${4:-BENCH_chaos.json}"
+SWEEP_OUT="${5:-BENCH_sweep.json}"
 REPS="${REPS:-1}"
 
 run_suite() {
@@ -47,4 +54,22 @@ run_suite "${BUILD_DIR}/bench/bench_micro_scheduler" "${SCHED_OUT}"
 run_suite "${BUILD_DIR}/bench/bench_micro_dataplane" "${DP_OUT}"
 if [[ "${BENCH_CHAOS:-0}" == "1" ]]; then
   run_suite "${BUILD_DIR}/bench/bench_micro_chaos" "${CHAOS_OUT}"
+fi
+
+# Experiment sweep (src/sweep/): not a google-benchmark suite — the binary
+# runs a grid of independent Simulator experiments across a work-stealing
+# pool and writes one deterministically merged JSON document.
+if [[ "${BENCH_SWEEP:-1}" == "1" ]]; then
+  SWEEP_BIN="${BUILD_DIR}/bench/sweep_runner"
+  if [[ ! -x "${SWEEP_BIN}" ]]; then
+    echo "error: ${SWEEP_BIN} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+  "${SWEEP_BIN}" \
+    --grid="${BENCH_SWEEP_GRID:-fig5}" \
+    --threads="${BENCH_SWEEP_THREADS:-$(nproc)}" \
+    --out="${SWEEP_OUT}" \
+    --manifest=none \
+    --quiet
+  echo "wrote ${SWEEP_OUT}"
 fi

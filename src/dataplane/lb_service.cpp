@@ -37,6 +37,24 @@ std::size_t LbService::routeIndex() {
   return index;
 }
 
+void LbService::routeBatch(std::size_t k, std::vector<std::uint32_t>& out) {
+  assert(configured_ && "LbService::routeBatch before configure");
+  if (spread_ == LbSpread::kSmooth) {
+    const std::size_t first = out.size();
+    smooth_.pickBatch(k, out);
+    routed_ += k;
+    for (std::size_t i = first; i < out.size(); ++i) ++perTarget_[out[i]];
+    return;
+  }
+  out.reserve(out.size() + k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::size_t index = burst_.pickIndex();
+    ++routed_;
+    ++perTarget_[index];
+    out.push_back(static_cast<std::uint32_t>(index));
+  }
+}
+
 std::size_t LbService::routeHealthyIndex(SimTime now) {
   assert(configured_ && "LbService::route before configure");
   // Each draw advances the WRR even when the target is skipped; with every
@@ -57,6 +75,23 @@ std::size_t LbService::routeHealthyIndex(SimTime now) {
     return index;
   }
   return kNoTarget;
+}
+
+std::size_t LbService::routeHealthyBatch(SimTime now, std::size_t k,
+                                         std::vector<std::uint32_t>& out) {
+  assert(configured_ && "LbService::routeHealthyBatch before configure");
+  // With every target healthy (the steady state) each frame is exactly one
+  // cached O(1) draw; the masked-skip loop only runs during a failure
+  // window. Identical to k sequential routeHealthyIndex calls because
+  // health state can only change between calls, never inside one.
+  out.reserve(out.size() + k);
+  std::size_t routed = 0;
+  for (; routed < k; ++routed) {
+    std::size_t index = routeHealthyIndex(now);
+    if (index == kNoTarget) break;
+    out.push_back(static_cast<std::uint32_t>(index));
+  }
+  return routed;
 }
 
 void LbService::recordSuccess(std::size_t index) {

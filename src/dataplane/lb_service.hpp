@@ -68,11 +68,24 @@ class LbService {
   // config().weights. Per-frame hot path — no string is touched.
   // Precondition: configured().
   std::size_t routeIndex();
+  // Routes k requests in one call (a pod submitting a burst of frames),
+  // appending the target indices to `out`. The pick sequence is identical
+  // to k routeIndex() calls — the smooth spread serves the batch from its
+  // precomputed periodic schedule (one pass over the weight vector,
+  // amortized), so the per-frame cost is a table read instead of an O(n)
+  // credit scan. Precondition: configured().
+  void routeBatch(std::size_t k, std::vector<std::uint32_t>& out);
   // Health-aware routing: repeatedly draws from the WRR, skipping targets
   // whose mask window has not elapsed; a target whose window elapsed is
   // moved to kProbing and returned (half-open probe). Returns kNoTarget
   // when every target is masked. Precondition: configured().
   std::size_t routeHealthyIndex(SimTime now);
+  // Health-aware batch: equivalent to calling routeHealthyIndex(now) k
+  // times (no health feedback can interleave within one call), except it
+  // stops at the first kNoTarget draw. Appends the routed target indices to
+  // `out` and returns how many of the k frames were routed.
+  std::size_t routeHealthyBatch(SimTime now, std::size_t k,
+                                std::vector<std::uint32_t>& out);
   // Routes the next request; returns the target TPU id.
   // Precondition: configured().
   const std::string& route() { return lbConfig_.weights[routeIndex()].tpuId; }

@@ -38,19 +38,71 @@ Status SmoothWrr::setTargets(std::vector<WrrTarget> targets) {
   counts_.assign(targets_.size(), 0);
   totalWeight_ = 0;
   for (const auto& t : targets_) totalWeight_ += t.weight;
+  cycle_.clear();
+  phase_ = 0;
+  cycleBuilt_ = false;
   return Status::ok();
 }
 
-std::size_t SmoothWrr::pickIndex() {
-  assert(!targets_.empty() && "pick() on empty WRR");
+std::size_t SmoothWrr::stepLinear() {
   std::size_t best = 0;
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     current_[i] += static_cast<std::int64_t>(targets_[i].weight);
     if (current_[i] > current_[best]) best = i;
   }
   current_[best] -= static_cast<std::int64_t>(totalWeight_);
+  return best;
+}
+
+void SmoothWrr::buildCycleIfNeeded() {
+  if (cycleBuilt_) return;
+  cycleBuilt_ = true;
+  if (totalWeight_ > kMaxCyclePeriod) return;  // degenerate set: keep O(n) scan
+  // Deferred to the first pick so configure-heavy paths (admission churn)
+  // pay nothing for pods that never route. phase_ == 0 here by definition,
+  // and running the argmax one full period leaves the credits back at zero.
+  cycle_.reserve(static_cast<std::size_t>(totalWeight_));
+  for (std::uint64_t j = 0; j < totalWeight_; ++j) {
+    cycle_.push_back(static_cast<std::uint32_t>(stepLinear()));
+  }
+  for (std::int64_t c : current_) {
+    assert(c == 0 && "smooth WRR period did not close");
+    (void)c;
+  }
+}
+
+std::size_t SmoothWrr::pickIndex() {
+  assert(!targets_.empty() && "pick() on empty WRR");
+  buildCycleIfNeeded();
+  std::size_t best;
+  if (cycle_.empty()) {
+    best = stepLinear();
+  } else {
+    best = cycle_[phase_];
+    if (++phase_ == totalWeight_) phase_ = 0;
+  }
   ++counts_[best];
   return best;
+}
+
+void SmoothWrr::pickBatch(std::size_t k, std::vector<std::uint32_t>& out) {
+  assert(!targets_.empty() && "pickBatch() on empty WRR");
+  buildCycleIfNeeded();
+  out.reserve(out.size() + k);
+  if (cycle_.empty()) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::size_t best = stepLinear();
+      ++counts_[best];
+      out.push_back(static_cast<std::uint32_t>(best));
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    std::uint32_t best = cycle_[phase_];
+    if (++phase_ == totalWeight_) phase_ = 0;
+    ++counts_[best];
+    out.push_back(best);
+  }
 }
 
 std::uint64_t SmoothWrr::pickCount(const std::string& id) const {

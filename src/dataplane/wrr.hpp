@@ -27,8 +27,25 @@ struct WrrTarget {
 // subtracts the total weight from the winner. Deterministic; over any window
 // of totalWeight picks each target is chosen exactly weight_i times, and
 // picks of the same target are spread maximally apart.
+//
+// Batching: the credit state returns to its initial value after exactly
+// totalWeight() picks (each target wins weight_i times, so every credit
+// gains weight_i * W and loses weight_i * W), so the pick sequence is
+// periodic with period W. On the first pick the schedule's one period is
+// materialized in a single pass of W argmax steps over the weight vector
+// and every subsequent pick — single or batched — is a table read, which is
+// what makes routing k frames of a burst O(k) instead of O(k * n). Both
+// paths produce the sequence of the original incremental argmax by
+// construction (the cache is *built by* that argmax). Degenerate weight
+// sets whose reduced period exceeds kMaxCyclePeriod skip the cache and keep
+// the O(n)-per-pick scan.
 class SmoothWrr {
  public:
+  // Reduced periods above this fall back to the per-pick argmax scan
+  // (weights are milli-units, so a pathological pair like 349:651 has
+  // period 1000; the cap bounds cache memory per LB service).
+  static constexpr std::uint64_t kMaxCyclePeriod = 4096;
+
   // Replaces the target set. Zero-weight targets are rejected.
   Status setTargets(std::vector<WrrTarget> targets);
 
@@ -40,16 +57,31 @@ class SmoothWrr {
   // Index of the next target into targets(). Precondition: !empty().
   // The per-frame hot path: no string is touched.
   std::size_t pickIndex();
+  // Appends k picks to out, identical to k successive pickIndex() calls.
+  // Precondition: !empty().
+  void pickBatch(std::size_t k, std::vector<std::uint32_t>& out);
   // Next target id. Precondition: !empty().
   const std::string& pick() { return targets_[pickIndex()].id; }
 
   std::uint64_t pickCount(const std::string& id) const;
 
+  // Cycle length when the periodic cache is active, 0 when the target set
+  // fell back to the linear scan (telemetry / tests).
+  std::uint64_t cyclePeriod() const { return cycle_.size(); }
+
  private:
+  // One step of the original incremental argmax (cache builder + fallback).
+  std::size_t stepLinear();
+  void buildCycleIfNeeded();
+
   std::vector<WrrTarget> targets_;
   std::vector<std::int64_t> current_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t totalWeight_ = 0;
+  // One period of winner indices (empty: fallback or not built yet).
+  std::vector<std::uint32_t> cycle_;
+  std::uint64_t phase_ = 0;  // picks since setTargets, mod totalWeight_
+  bool cycleBuilt_ = false;
 };
 
 // Naive burst WRR: emits weight_i consecutive picks of target i before

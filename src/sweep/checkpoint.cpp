@@ -1,0 +1,93 @@
+#include "sweep/checkpoint.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace microedge {
+
+StatusOr<std::vector<SweepManifest::Entry>> SweepManifest::load(
+    const std::string& fingerprint, std::size_t pointCount) const {
+  std::vector<Entry> entries;
+  std::ifstream in(path_);
+  if (!in.is_open()) return entries;  // no manifest yet: fresh sweep
+
+  std::string line;
+  bool sawHeader = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    StatusOr<JsonValue> parsed = JsonValue::parse(line);
+    if (!parsed.isOk()) {
+      // A truncated tail is the signature of a killed writer; anything
+      // malformed *before* EOF means the file is not ours.
+      if (in.peek() == std::ifstream::traits_type::eof()) break;
+      return invalidArgument(
+          strCat("sweep manifest ", path_, ": corrupt line: ", line));
+    }
+    const JsonValue& v = *parsed;
+    if (!sawHeader) {
+      if (v.getInt("sweep_manifest", 0) != 1) {
+        return invalidArgument(
+            strCat("sweep manifest ", path_, ": missing header"));
+      }
+      std::string got = v.getString("fingerprint", "");
+      if (got != fingerprint) {
+        return failedPrecondition(
+            strCat("sweep manifest ", path_, ": grid fingerprint ", got,
+                   " does not match current grid ", fingerprint,
+                   " (delete the manifest to start over)"));
+      }
+      sawHeader = true;
+      continue;
+    }
+    // Tail tolerance covers only lines that fail to *parse*: a torn write
+    // is a proper prefix of a complete line, which never balances its
+    // braces. A line that parses but names a bad point is real corruption.
+    const JsonValue* result = v.find("result");
+    std::int64_t index = v.getInt("i", -1);
+    if (result == nullptr || index < 0 ||
+        static_cast<std::size_t>(index) >= pointCount) {
+      return invalidArgument(
+          strCat("sweep manifest ", path_, ": bad entry: ", line));
+    }
+    entries.push_back(Entry{static_cast<std::size_t>(index), *result});
+  }
+  return entries;
+}
+
+Status SweepManifest::openForAppend(const std::string& gridName,
+                                    const std::string& fingerprint,
+                                    bool resume) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool fresh = [&] {
+    if (!resume) return true;
+    std::ifstream probe(path_);
+    return !probe.is_open() || probe.peek() == std::ifstream::traits_type::eof();
+  }();
+  out_.open(path_, fresh ? std::ios::trunc : std::ios::app);
+  if (!out_.is_open()) {
+    return internalError(strCat("cannot open sweep manifest ", path_));
+  }
+  if (fresh) {
+    JsonValue header = JsonValue::object();
+    header.set("sweep_manifest", 1);
+    header.set("grid", gridName);
+    header.set("fingerprint", fingerprint);
+    out_ << header.dump() << '\n';
+    out_.flush();
+  }
+  return Status::ok();
+}
+
+void SweepManifest::append(std::size_t pointIndex, const JsonValue& result) {
+  JsonValue entry = JsonValue::object();
+  entry.set("i", pointIndex);
+  entry.set("result", result);
+  std::string line = entry.dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << line << '\n';
+  out_.flush();  // a killed process loses at most the in-flight line
+}
+
+}  // namespace microedge

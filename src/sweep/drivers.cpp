@@ -1,0 +1,195 @@
+#include "sweep/drivers.hpp"
+
+#include "models/zoo.hpp"
+#include "testbed/scenarios.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+namespace {
+
+StatusOr<SchedulingMode> parseMode(const std::string& mode) {
+  if (mode == "baseline") return SchedulingMode::kBaselineDedicated;
+  if (mode == "no_wp") return SchedulingMode::kMicroEdgeNoWp;
+  if (mode == "wp") return SchedulingMode::kMicroEdgeWp;
+  return invalidArgument(
+      strCat("sweep: unknown mode \"", mode, "\" (baseline|no_wp|wp)"));
+}
+
+// Explicit "seed" field wins (paper-shape grids pin the seed the serial
+// benches used); otherwise the coordinate-derived per-point seed.
+std::uint64_t pointSeed(const SweepPoint& p) {
+  const JsonValue* seed = p.values.find("seed");
+  return seed != nullptr && seed->isNumber() ? seed->asUint() : p.seed;
+}
+
+JsonValue runScalabilitySweepPoint(const SweepPoint& p) {
+  ScalabilityScenario scenario;
+  StatusOr<SchedulingMode> mode = parseMode(p.getString("mode", "wp"));
+  // A bad mode string is a grid-authoring error; surface it in-band so the
+  // offending point is visible in the merged output.
+  if (!mode.isOk()) {
+    JsonValue err = JsonValue::object();
+    err.set("error", mode.status().toString());
+    return err;
+  }
+  scenario.mode = *mode;
+  scenario.deployment.model = p.getString("model", zoo::kSsdMobileNetV2);
+  scenario.deployment.fps = p.getDouble("fps", 15.0);
+  scenario.tpusPerNode = static_cast<int>(p.getInt("tpus_per_node", 1));
+  scenario.cameraUpperBound =
+      static_cast<int>(p.getInt("camera_upper_bound", 64));
+  scenario.horizon = secondsF(p.getDouble("horizon_s", 40.0));
+  scenario.seed = pointSeed(p);
+  const int tpus = static_cast<int>(p.getInt("tpus", 1));
+
+  ScalabilityPoint r = runScalabilityPoint(scenario, tpus);
+  JsonValue out = JsonValue::object();
+  out.set("tpus", r.tpuCount);
+  out.set("cameras", r.camerasSupported);
+  out.set("mean_utilization", r.meanUtilization);
+  out.set("slo_met", r.sloMet);
+  out.set("min_fps", r.minAchievedFps);
+  return out;
+}
+
+JsonValue runTraceSweepPoint(const SweepPoint& p) {
+  StatusOr<SchedulingMode> mode = parseMode(p.getString("mode", "wp"));
+  if (!mode.isOk()) {
+    JsonValue err = JsonValue::object();
+    err.set("error", mode.status().toString());
+    return err;
+  }
+  TraceScenarioConfig config;
+  config.trace = MafTraceGenerator::paperDefaults();
+  config.trace.horizon = secondsF(p.getDouble("horizon_min", 20.0) * 60.0);
+  config.trace.seed = pointSeed(p);
+  config.capacityUnits = p.getDouble("capacity_units", 10.0);
+  config.sampleWindow = secondsF(p.getDouble("window_s", 60.0));
+  config.testbed.mode = *mode;
+  config.testbed.enableCoCompile = p.getBool("co_compile", true);
+
+  TraceRunResult r = runTraceScenario(config);
+  JsonValue out = JsonValue::object();
+  out.set("attempted", r.attempted);
+  out.set("accepted", r.accepted);
+  out.set("rejected", r.rejected);
+  out.set("streams", r.slo.streams);
+  out.set("streams_meeting_slo", r.slo.streamsMeetingSlo);
+  JsonValue utilization = JsonValue::array();
+  for (double u : r.utilizationPerWindow) utilization.push(u);
+  out.set("utilization_per_window", std::move(utilization));
+  JsonValue active = JsonValue::array();
+  for (int a : r.activePerWindow) active.push(static_cast<std::int64_t>(a));
+  out.set("active_per_window", std::move(active));
+  return out;
+}
+
+JsonValue scalabilityPointSpec(const char* series, const char* label,
+                               const char* model, const char* mode, int tpus,
+                               int tpusPerNode) {
+  JsonValue p = JsonValue::object();
+  p.set("series", series);
+  p.set("label", label);
+  p.set("model", model);
+  p.set("fps", 15.0);
+  p.set("mode", mode);
+  p.set("tpus", tpus);
+  p.set("tpus_per_node", tpusPerNode);
+  p.set("seed", 7);  // the serial bench's fixed seed (paper-shape output)
+  return p;
+}
+
+}  // namespace
+
+StatusOr<SweepPointFn> findSweepDriver(const std::string& name) {
+  if (name == "scalability") return SweepPointFn(runScalabilitySweepPoint);
+  if (name == "trace") return SweepPointFn(runTraceSweepPoint);
+  return notFound(strCat("sweep: unknown driver \"", name,
+                         "\" (scalability|trace)"));
+}
+
+SweepGrid fig5SweepGrid() {
+  std::vector<JsonValue> points;
+  // Fig. 5a/5b — Coral-Pie: three variants over 1..6 TPUs.
+  struct Variant {
+    const char* label;
+    const char* mode;
+  };
+  const Variant coralVariants[] = {{"baseline", "baseline"},
+                                   {"MicroEdge w/o W.P.", "no_wp"},
+                                   {"MicroEdge w/ W.P.", "wp"}};
+  for (const Variant& v : coralVariants) {
+    for (int tpus = 1; tpus <= 6; ++tpus) {
+      points.push_back(scalabilityPointSpec("coral-pie", v.label,
+                                            zoo::kSsdMobileNetV2, v.mode,
+                                            tpus, 1));
+    }
+  }
+  // Fig. 5c/5d — BodyPix: the bare-metal baseline attaches 2 TPUs per RPi.
+  const int bodypixTpus[] = {2, 4, 6};
+  for (int tpus : bodypixTpus) {
+    points.push_back(scalabilityPointSpec("bodypix", "baseline (2 TPUs/cam)",
+                                          zoo::kBodyPixMobileNetV1, "baseline",
+                                          tpus, 2));
+  }
+  for (int tpus : bodypixTpus) {
+    points.push_back(scalabilityPointSpec("bodypix", "MicroEdge w/ W.P.",
+                                          zoo::kBodyPixMobileNetV1, "wp",
+                                          tpus, 1));
+  }
+  SweepGrid grid = SweepGrid::explicitPoints("fig5", std::move(points), 7);
+  grid.setDriver("scalability");
+  return grid;
+}
+
+SweepGrid fig6SweepGrid() {
+  struct Variant {
+    const char* label;
+    const char* mode;
+    bool coCompile;
+  };
+  const Variant variants[] = {{"baseline", "baseline", true},
+                              {"WP+CC", "wp", true},
+                              {"WP only", "wp", false},
+                              {"CC only", "no_wp", true},
+                              {"neither", "no_wp", false}};
+  std::vector<JsonValue> points;
+  for (const Variant& v : variants) {
+    JsonValue p = JsonValue::object();
+    p.set("label", v.label);
+    p.set("mode", v.mode);
+    p.set("co_compile", v.coCompile);
+    p.set("horizon_min", 20.0);
+    p.set("capacity_units", 10.0);
+    p.set("window_s", 60.0);
+    p.set("seed", 2022);  // the serial bench's trace seed
+    points.push_back(std::move(p));
+  }
+  SweepGrid grid = SweepGrid::explicitPoints("fig6", std::move(points), 2022);
+  grid.setDriver("trace");
+  return grid;
+}
+
+SweepGrid smokeSweepGrid() {
+  // Cartesian on purpose (the built-in explicit grids don't exercise that
+  // path): 2 modes x 2 pool sizes, 2-second horizons, derived seeds.
+  std::vector<SweepGrid::Axis> axes;
+  axes.push_back({"mode", {JsonValue("wp"), JsonValue("no_wp")}});
+  axes.push_back({"tpus", {JsonValue(1), JsonValue(2)}});
+  axes.push_back({"horizon_s", {JsonValue(2.0)}});
+  axes.push_back({"camera_upper_bound", {JsonValue(6)}});
+  SweepGrid grid = SweepGrid::cartesian("smoke", std::move(axes), 99);
+  grid.setDriver("scalability");
+  return grid;
+}
+
+StatusOr<SweepGrid> builtinSweepGrid(const std::string& name) {
+  if (name == "fig5") return fig5SweepGrid();
+  if (name == "fig6") return fig6SweepGrid();
+  if (name == "smoke") return smokeSweepGrid();
+  return notFound(strCat("sweep: no built-in grid \"", name,
+                         "\" (fig5|fig6|smoke)"));
+}
+
+}  // namespace microedge

@@ -1,0 +1,66 @@
+#include "sweep/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace microedge {
+
+void WorkStealingPool::run(std::vector<Task> tasks) {
+  stolen_ = 0;
+  if (tasks.empty()) return;
+  const unsigned n = threadCount();
+  if (n == 1) {
+    for (Task& task : tasks) task();
+    return;
+  }
+
+  // Seed the deques round-robin so every worker starts with a spread of the
+  // grid (adjacent points often share cost characteristics).
+  std::vector<std::unique_ptr<Queue>> queues;
+  queues.reserve(n);
+  for (unsigned i = 0; i < n; ++i) queues.push_back(std::make_unique<Queue>());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    queues[t % n]->q.push_back(std::move(tasks[t]));
+  }
+
+  std::atomic<std::size_t> stolen{0};
+  auto worker = [&queues, &stolen, n](unsigned self) {
+    for (;;) {
+      Task task;
+      bool wasSteal = false;
+      {
+        // Own queue first: pop from the front.
+        Queue& mine = *queues[self];
+        std::lock_guard<std::mutex> lock(mine.mu);
+        if (!mine.q.empty()) {
+          task = std::move(mine.q.front());
+          mine.q.pop_front();
+        }
+      }
+      if (!task) {
+        // Steal from the back of the first non-empty victim.
+        for (unsigned off = 1; off < n && !task; ++off) {
+          Queue& victim = *queues[(self + off) % n];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.q.empty()) {
+            task = std::move(victim.q.back());
+            victim.q.pop_back();
+            wasSteal = true;
+          }
+        }
+      }
+      if (!task) return;  // every deque empty: batch is done
+      if (wasSteal) stolen.fetch_add(1, std::memory_order_relaxed);
+      task();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned i = 0; i < n; ++i) threads.emplace_back(worker, i);
+  for (std::thread& t : threads) t.join();
+  stolen_ = stolen.load(std::memory_order_relaxed);
+}
+
+}  // namespace microedge

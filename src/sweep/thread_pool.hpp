@@ -1,0 +1,61 @@
+#pragma once
+
+// Work-stealing thread pool for the sweep runner — the repo's first
+// concurrent code, kept deliberately simple and sanitizer-friendly.
+//
+// The unit of work is one grid point: a multi-second Simulator run. At that
+// granularity queue overhead is irrelevant and the problem work stealing
+// actually solves is *tail imbalance* — a (model × fps × pool-size) grid's
+// points differ in cost by an order of magnitude (6-TPU trace replays vs
+// 1-TPU capacity probes), so static round-robin sharding strands workers
+// idle behind whoever drew the expensive block. Each worker owns a deque
+// seeded round-robin, pops its own work from the front, and when empty
+// steals from the *back* of a victim's deque (the classic arrangement:
+// owner and thief touch opposite ends, and the stolen tail item is the one
+// seeded last, i.e. least likely to share warm state). Mutex-per-deque is
+// plenty at points-per-second contention rates and keeps the TSan model
+// trivial.
+//
+// run() is a one-shot batch: no tasks are added after launch, so
+// termination is simply "every deque is empty", with no condition-variable
+// dance. Threads are spawned per run() call — microseconds against
+// seconds-long points.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace microedge {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  // threads == 0 or 1 runs tasks inline on the calling thread, in order —
+  // the serial path (--threads=1) shares this code.
+  explicit WorkStealingPool(unsigned threads) : threads_(threads) {}
+
+  unsigned threadCount() const { return threads_ < 1 ? 1 : threads_; }
+
+  // Runs every task to completion; returns when all are done. Tasks must
+  // not add further tasks. Exceptions escaping a task are routed to
+  // std::terminate (point functions report failures in-band as results).
+  void run(std::vector<Task> tasks);
+
+  // Telemetry from the last run(): how many tasks were executed by a
+  // worker other than the one they were seeded on.
+  std::size_t stolenCount() const { return stolen_; }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  unsigned threads_;
+  std::size_t stolen_ = 0;
+};
+
+}  // namespace microedge

@@ -33,19 +33,33 @@ std::size_t Interner::size() const {
   return names_.size();
 }
 
-Interner& modelInterner() {
-  static Interner table;
-  return table;
+namespace {
+
+InternDomain& processInternDomain() {
+  static InternDomain domain;
+  return domain;
 }
 
-Interner& tpuInterner() {
-  static Interner table;
-  return table;
+// Innermost live InternScope of this thread (nullptr = process default).
+thread_local InternDomain* tlsInternDomain = nullptr;
+
+}  // namespace
+
+InternDomain& currentInternDomain() {
+  InternDomain* d = tlsInternDomain;
+  return d != nullptr ? *d : processInternDomain();
 }
 
-Interner& nodeInterner() {
-  static Interner table;
-  return table;
+InternScope::InternScope() : prev_(tlsInternDomain) {
+  tlsInternDomain = &fresh_;
 }
+
+InternScope::~InternScope() { tlsInternDomain = prev_; }
+
+Interner& modelInterner() { return currentInternDomain().model; }
+
+Interner& tpuInterner() { return currentInternDomain().tpu; }
+
+Interner& nodeInterner() { return currentInternDomain().node; }
 
 }  // namespace microedge

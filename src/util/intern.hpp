@@ -10,10 +10,23 @@
 // then vectors indexed (or small dense lists keyed) by handle, and the
 // public string-based APIs remain as thin wrappers that intern on entry.
 //
-// Handles are append-only for the process lifetime, so a ModelId/TpuId can
-// be cached freely (in allocations, LB configs, benchmark fixtures) and
-// never dangles. The tables are mutex-guarded: interning happens on the
-// control plane (admission, registration), never per frame.
+// Handles are append-only for the lifetime of their *domain*, so a
+// ModelId/TpuId can be cached freely (in allocations, LB configs, benchmark
+// fixtures) and never dangles. The tables are mutex-guarded: interning
+// happens on the control plane (admission, registration), never per frame.
+//
+// Domains: by default every thread resolves modelInterner()/tpuInterner()/
+// nodeInterner() to one process-wide InternDomain — the seed behaviour.
+// That shared table is hidden global state for the sweep runner: two
+// concurrent Simulator runs interleave their intern calls, so the dense
+// value a name receives depends on what other threads did first, and any
+// tie-break or iteration keyed on handle values diverges from a solo run
+// (the tables also grow without bound across a long sweep, dragging every
+// handle-indexed vector with them). An InternScope pushes a fresh domain
+// for the current thread; a sweep worker wraps each grid point in one so
+// handle assignment is a pure function of that run's own intern sequence —
+// bit-identical to the same seed running alone in a fresh process. Handles
+// must not be cached across a scope boundary.
 
 #include <cstdint>
 #include <mutex>
@@ -91,7 +104,36 @@ struct NodeId {
   }
 };
 
-// Process-wide symbol tables, one per id domain.
+// One symbol table per id kind. A domain is the unit of handle validity.
+struct InternDomain {
+  Interner model;
+  Interner tpu;
+  Interner node;
+};
+
+// The domain the calling thread currently resolves ids against: the
+// innermost live InternScope on this thread, else the process-wide default.
+InternDomain& currentInternDomain();
+
+// RAII: swaps a fresh, empty InternDomain in for the current thread and
+// restores the previous one on destruction. Scopes nest. Everything that
+// interns or resolves ids (Testbed, Simulator runs, reports) must live and
+// die strictly inside the scope.
+class InternScope {
+ public:
+  InternScope();
+  ~InternScope();
+  InternScope(const InternScope&) = delete;
+  InternScope& operator=(const InternScope&) = delete;
+
+  InternDomain& domain() { return fresh_; }
+
+ private:
+  InternDomain fresh_;
+  InternDomain* prev_;
+};
+
+// Symbol tables of the current thread's domain, one per id kind.
 Interner& modelInterner();
 Interner& tpuInterner();
 Interner& nodeInterner();

@@ -128,4 +128,14 @@ class Pcg32 {
   double spare_ = 0.0;
 };
 
+// SplitMix64 finalizer (Steele et al.). The sweep runner chains it over a
+// point's grid coordinates to derive per-point seeds that depend only on
+// *where* the point sits in the grid — never on thread or completion order.
+inline constexpr std::uint64_t splitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace microedge

@@ -1,0 +1,422 @@
+// src/sweep: grid enumeration, seed derivation, the work-stealing runner's
+// determinism contract (merged bytes = f(grid, point function) for any
+// thread/shard/resume history), checkpoint manifests, and the InternScope
+// isolation that makes a worker's run bit-identical to a solo run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sweep/checkpoint.hpp"
+#include "sweep/drivers.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/shard.hpp"
+#include "sweep/thread_pool.hpp"
+#include "util/intern.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+namespace {
+
+SweepGrid testGrid() {
+  return SweepGrid::cartesian(
+      "unit",
+      {SweepGrid::Axis{"a", {JsonValue(1), JsonValue(2), JsonValue(3)}},
+       SweepGrid::Axis{"b", {JsonValue("x"), JsonValue("y")}}},
+      /*baseSeed=*/42);
+}
+
+// Deterministic synthetic point function: cheap, pure in (values, seed).
+JsonValue syntheticPoint(const SweepPoint& p) {
+  JsonValue r = JsonValue::object();
+  r.set("a", p.getInt("a", -1));
+  r.set("b", p.getString("b", "?"));
+  r.set("seed_lo", static_cast<std::int64_t>(p.seed & 0xffff));
+  return r;
+}
+
+// TempDir() is shared across test runs; claiming a path removes any stale
+// file a previous run left behind.
+std::string tempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "sweep_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------- grid --
+
+TEST(SweepGridTest, CartesianEnumerationRowMajorLastAxisFastest) {
+  SweepGrid grid = testGrid();
+  ASSERT_EQ(grid.pointCount(), 6u);
+  // Order: (1,x) (1,y) (2,x) (2,y) (3,x) (3,y).
+  std::vector<std::pair<std::int64_t, std::string>> expect = {
+      {1, "x"}, {1, "y"}, {2, "x"}, {2, "y"}, {3, "x"}, {3, "y"}};
+  for (std::size_t i = 0; i < grid.pointCount(); ++i) {
+    SweepPoint p = grid.point(i);
+    EXPECT_EQ(p.index, i);
+    EXPECT_EQ(p.getInt("a", -1), expect[i].first) << i;
+    EXPECT_EQ(p.getString("b", "?"), expect[i].second) << i;
+    ASSERT_EQ(p.coords.size(), 2u);
+    EXPECT_EQ(p.coords[0], i / 2);
+    EXPECT_EQ(p.coords[1], i % 2);
+  }
+}
+
+TEST(SweepGridTest, ExplicitPointsKeepListOrder) {
+  JsonValue p0 = JsonValue::object();
+  p0.set("label", "first");
+  JsonValue p1 = JsonValue::object();
+  p1.set("label", "second");
+  SweepGrid grid =
+      SweepGrid::explicitPoints("variants", {p0, p1}, /*baseSeed=*/9);
+  ASSERT_EQ(grid.pointCount(), 2u);
+  EXPECT_TRUE(grid.isExplicit());
+  EXPECT_EQ(grid.point(0).getString("label", ""), "first");
+  EXPECT_EQ(grid.point(1).getString("label", ""), "second");
+  // Explicit points are addressed by list position.
+  EXPECT_EQ(grid.point(1).coords, (std::vector<std::size_t>{1}));
+}
+
+TEST(SweepGridTest, JsonRoundTripPreservesIdentity) {
+  SweepGrid grid = testGrid();
+  grid.setDriver("scalability");
+  auto back = SweepGrid::fromJson(grid.toJson());
+  ASSERT_TRUE(back.isOk());
+  EXPECT_EQ(back->name(), grid.name());
+  EXPECT_EQ(back->driver(), grid.driver());
+  EXPECT_EQ(back->baseSeed(), grid.baseSeed());
+  EXPECT_EQ(back->fingerprint(), grid.fingerprint());
+  ASSERT_EQ(back->pointCount(), grid.pointCount());
+  for (std::size_t i = 0; i < grid.pointCount(); ++i) {
+    EXPECT_EQ(back->point(i).values.dump(), grid.point(i).values.dump()) << i;
+    EXPECT_EQ(back->point(i).seed, grid.point(i).seed) << i;
+  }
+}
+
+TEST(SweepGridTest, FromJsonTextRejectsGarbage) {
+  EXPECT_FALSE(SweepGrid::fromJsonText("{not json").isOk());
+}
+
+TEST(SweepGridTest, FingerprintSeparatesGrids) {
+  SweepGrid a = testGrid();
+  SweepGrid b = SweepGrid::cartesian(
+      "unit",
+      {SweepGrid::Axis{"a", {JsonValue(1), JsonValue(2), JsonValue(3)}},
+       SweepGrid::Axis{"b", {JsonValue("x"), JsonValue("y")}}},
+      /*baseSeed=*/43);  // only the base seed differs
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), testGrid().fingerprint());
+}
+
+TEST(SweepGridTest, SeedDerivationIsCoordinatePure) {
+  // Same coords + base -> same seed; any coordinate or base change -> a
+  // different seed. Nothing about threads or order can enter.
+  EXPECT_EQ(deriveSweepSeed(7, {1, 2}), deriveSweepSeed(7, {1, 2}));
+  EXPECT_NE(deriveSweepSeed(7, {1, 2}), deriveSweepSeed(8, {1, 2}));
+  EXPECT_NE(deriveSweepSeed(7, {1, 2}), deriveSweepSeed(7, {2, 1}));
+  EXPECT_NE(deriveSweepSeed(7, {1, 2}), deriveSweepSeed(7, {1, 2, 0}));
+
+  SweepGrid grid = testGrid();
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < grid.pointCount(); ++i) {
+    seeds.insert(grid.point(i).seed);
+  }
+  EXPECT_EQ(seeds.size(), grid.pointCount());  // all distinct
+}
+
+// ---------------------------------------------------------------- pool --
+
+TEST(WorkStealingPoolTest, RunsEveryTaskExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    std::atomic<int> calls{0};
+    std::vector<std::atomic<int>> per(64);
+    std::vector<WorkStealingPool::Task> tasks;
+    for (std::size_t i = 0; i < per.size(); ++i) {
+      tasks.push_back([&, i] {
+        per[i].fetch_add(1);
+        calls.fetch_add(1);
+      });
+    }
+    WorkStealingPool pool(threads);
+    pool.run(std::move(tasks));
+    EXPECT_EQ(calls.load(), 64) << threads << " threads";
+    for (std::size_t i = 0; i < per.size(); ++i) {
+      EXPECT_EQ(per[i].load(), 1) << "task " << i;
+    }
+  }
+}
+
+// -------------------------------------------------------------- runner --
+
+TEST(SweepRunnerTest, SerialRunProducesCanonicalMerge) {
+  SweepOptions options;  // threads=1, in-memory
+  auto report = runSweep(testGrid(), syntheticPoint, options);
+  ASSERT_TRUE(report.isOk());
+  EXPECT_TRUE(report->complete);
+  EXPECT_EQ(report->ran, 6u);
+  EXPECT_EQ(report->resumed, 0u);
+
+  const JsonValue& merged = report->merged;
+  EXPECT_EQ(merged.getString("grid", ""), "unit");
+  EXPECT_EQ(merged.getString("fingerprint", ""), testGrid().fingerprint());
+  const auto& points = merged.find("points")->items();
+  ASSERT_EQ(points.size(), 6u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].getInt("i", -1), static_cast<std::int64_t>(i));
+    SweepPoint p = testGrid().point(i);
+    EXPECT_EQ(points[i].find("config")->dump(), p.values.dump());
+    EXPECT_EQ(points[i].find("seed")->asUint(), p.seed);
+    EXPECT_EQ(points[i].find("result")->getInt("a", -2), p.getInt("a", -1));
+  }
+}
+
+TEST(SweepRunnerTest, EmptyGridIsAnError) {
+  SweepGrid empty;
+  SweepOptions options;
+  EXPECT_FALSE(runSweep(empty, syntheticPoint, options).isOk());
+}
+
+TEST(SweepRunnerTest, ShardingRequiresAnOutputPath) {
+  SweepOptions options;
+  options.shards = 4;  // no outPath
+  EXPECT_FALSE(runSweep(testGrid(), syntheticPoint, options).isOk());
+}
+
+TEST(SweepRunnerTest, MergedBytesIdenticalAcrossThreadsAndShards) {
+  // The subsystem's central property: every (threads, shards) combination
+  // writes the same bytes.
+  std::string reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      std::string out = tempPath(strCat("det_t", threads, "_s", shards,
+                                        ".json"));
+      SweepOptions options;
+      options.threads = threads;
+      options.shards = shards;
+      options.outPath = out;
+      auto report = runSweep(testGrid(), syntheticPoint, options);
+      ASSERT_TRUE(report.isOk()) << report.status().toString();
+      ASSERT_TRUE(report->complete);
+      auto bytes = readTextFile(out);
+      ASSERT_TRUE(bytes.isOk());
+      if (reference.empty()) {
+        reference = *bytes;
+      } else {
+        EXPECT_EQ(*bytes, reference)
+            << "threads=" << threads << " shards=" << shards;
+      }
+      // Shard files (written only when actually sharded) partition the
+      // points by index % K.
+      ASSERT_EQ(report->shardPaths.size(), shards > 1 ? shards : 0u);
+      for (std::size_t k = 0; k < report->shardPaths.size(); ++k) {
+        auto shardText = readTextFile(report->shardPaths[k]);
+        ASSERT_TRUE(shardText.isOk());
+        auto doc = JsonValue::parse(*shardText);
+        ASSERT_TRUE(doc.isOk());
+        for (const JsonValue& p : doc->find("points")->items()) {
+          EXPECT_EQ(sweepShardOf(static_cast<std::size_t>(p.getInt("i", -1)),
+                                 shards),
+                    k);
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(SweepRunnerTest, InterruptedThenResumedRunIsByteIdentical) {
+  // Fresh reference run.
+  std::string refOut = tempPath("resume_ref.json");
+  SweepOptions ref;
+  ref.outPath = refOut;
+  ASSERT_TRUE(runSweep(testGrid(), syntheticPoint, ref).isOk());
+
+  // Interrupted run: 3 of 6 points, then a simulated kill.
+  std::string out = tempPath("resume.json");
+  std::string manifest = tempPath("resume.json.manifest.jsonl");
+  std::atomic<int> calls{0};
+  SweepPointFn counting = [&](const SweepPoint& p) {
+    calls.fetch_add(1);
+    return syntheticPoint(p);
+  };
+  SweepOptions first;
+  first.threads = 2;
+  first.outPath = out;
+  first.manifestPath = manifest;
+  first.maxNewPoints = 3;
+  auto interrupted = runSweep(testGrid(), counting, first);
+  ASSERT_TRUE(interrupted.isOk());
+  EXPECT_FALSE(interrupted->complete);
+  EXPECT_EQ(interrupted->ran, 3u);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_FALSE(readTextFile(out).isOk());  // no partial merged output
+
+  // Resume: only the missing points run, and the bytes match the fresh run.
+  SweepOptions second;
+  second.threads = 2;
+  second.outPath = out;
+  second.manifestPath = manifest;
+  second.resume = true;
+  auto resumed = runSweep(testGrid(), counting, second);
+  ASSERT_TRUE(resumed.isOk()) << resumed.status().toString();
+  EXPECT_TRUE(resumed->complete);
+  EXPECT_EQ(resumed->resumed, 3u);
+  EXPECT_EQ(resumed->ran, 3u);
+  EXPECT_EQ(calls.load(), 6);  // no point ever ran twice
+
+  auto a = readTextFile(refOut);
+  auto b = readTextFile(out);
+  ASSERT_TRUE(a.isOk());
+  ASSERT_TRUE(b.isOk());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SweepRunnerTest, ResumeWithoutManifestRunsEverything) {
+  std::string out = tempPath("resume_cold.json");
+  SweepOptions options;
+  options.outPath = out;
+  options.manifestPath = tempPath("resume_cold.json.manifest.jsonl");
+  options.resume = true;  // nothing to fold in: behaves like a fresh run
+  auto report = runSweep(testGrid(), syntheticPoint, options);
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_TRUE(report->complete);
+  EXPECT_EQ(report->resumed, 0u);
+  EXPECT_EQ(report->ran, 6u);
+}
+
+// ---------------------------------------------------------- checkpoint --
+
+TEST(SweepManifestTest, FingerprintMismatchIsRejected) {
+  std::string path = tempPath("manifest_fp.jsonl");
+  SweepManifest manifest(path);
+  ASSERT_TRUE(manifest.openForAppend("unit", "aaaa", false).isOk());
+  manifest.append(0, JsonValue(1));
+  EXPECT_TRUE(SweepManifest(path).load("aaaa", 6).isOk());
+  EXPECT_FALSE(SweepManifest(path).load("bbbb", 6).isOk());
+}
+
+TEST(SweepManifestTest, TruncatedTrailingLineIsDropped) {
+  std::string path = tempPath("manifest_trunc.jsonl");
+  SweepManifest manifest(path);
+  ASSERT_TRUE(manifest.openForAppend("unit", "aaaa", false).isOk());
+  manifest.append(0, JsonValue(1));
+  manifest.append(4, JsonValue(2));
+  {
+    // Simulate a kill mid-append: a partial final line with no newline.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"i\": 5, \"result\": {\"ha";
+  }
+  auto entries = SweepManifest(path).load("aaaa", 6);
+  ASSERT_TRUE(entries.isOk()) << entries.status().toString();
+  ASSERT_EQ(entries->size(), 2u);  // the torn line reruns, not corrupts
+  EXPECT_EQ((*entries)[0].pointIndex, 0u);
+  EXPECT_EQ((*entries)[1].pointIndex, 4u);
+}
+
+TEST(SweepManifestTest, MissingFileMeansFreshSweep) {
+  auto entries =
+      SweepManifest(tempPath("manifest_missing.jsonl")).load("aaaa", 6);
+  ASSERT_TRUE(entries.isOk());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(SweepManifestTest, OutOfRangePointIndexFails) {
+  std::string path = tempPath("manifest_range.jsonl");
+  SweepManifest manifest(path);
+  ASSERT_TRUE(manifest.openForAppend("unit", "aaaa", false).isOk());
+  manifest.append(11, JsonValue(1));
+  EXPECT_FALSE(SweepManifest(path).load("aaaa", 6).isOk());
+}
+
+// --------------------------------------------------------- intern scope --
+
+TEST(InternScopeTest, FreshDomainPerScopeAndRestoration) {
+  // Names interned outside must be invisible inside a scope, and handle
+  // assignment inside a fresh scope must start from zero — that is what
+  // makes a sweep point's handles independent of everything around it.
+  ModelId outer = internModel("scope-test-outer");
+  {
+    InternScope scope;
+    EXPECT_FALSE(lookupModel("scope-test-outer").valid());
+    ModelId a = internModel("scope-test-a");
+    ModelId b = internModel("scope-test-b");
+    EXPECT_EQ(b.value, a.value + 1);  // dense, scope-local assignment
+    {
+      InternScope nested;
+      EXPECT_FALSE(lookupModel("scope-test-a").valid());
+      ModelId n = internModel("scope-test-a");
+      EXPECT_EQ(n.value, a.value);  // same sequence -> same handle
+    }
+    // Nested scope popped: the middle domain is intact.
+    EXPECT_EQ(lookupModel("scope-test-a").value, a.value);
+  }
+  EXPECT_EQ(lookupModel("scope-test-outer").value, outer.value);
+  EXPECT_FALSE(lookupModel("scope-test-a").valid());
+}
+
+TEST(InternScopeTest, ScopedRunsAssignIdenticalHandles) {
+  // Two runs of the same intern sequence in fresh scopes get identical
+  // handles regardless of what ran in between.
+  std::vector<std::uint32_t> first, second;
+  {
+    InternScope scope;
+    for (const char* n : {"m0", "m1", "m2"}) {
+      first.push_back(internModel(n).value);
+    }
+  }
+  internModel("drift-the-default-domain");
+  {
+    InternScope scope;
+    for (const char* n : {"m0", "m1", "m2"}) {
+      second.push_back(internModel(n).value);
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+// ------------------------------------------------- worker == solo run  --
+
+TEST(SweepSoloEquivalenceTest, WorkerResultsMatchSoloRuns) {
+  // Run the real smoke grid (scalability driver, full Testbed + Simulator
+  // per point) across 8 workers, then replay every point alone on this
+  // thread and demand identical result bytes. This is the satellite-2
+  // acceptance check: no hidden global state leaks between runs.
+  SweepGrid grid = smokeSweepGrid();
+  auto driver = findSweepDriver(grid.driver());
+  ASSERT_TRUE(driver.isOk());
+
+  SweepOptions options;
+  options.threads = 8;
+  auto report = runSweep(grid, *driver, options);
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  ASSERT_TRUE(report->complete);
+  const auto& points = report->merged.find("points")->items();
+  ASSERT_EQ(points.size(), grid.pointCount());
+
+  for (std::size_t i = 0; i < grid.pointCount(); ++i) {
+    InternScope scope;  // what the runner provides around each point
+    JsonValue solo = (*driver)(grid.point(i));
+    EXPECT_EQ(points[i].find("result")->dump(), solo.dump()) << "point " << i;
+  }
+}
+
+TEST(SweepDriversTest, BuiltinGridsResolve) {
+  for (const char* name : {"fig5", "fig6", "smoke"}) {
+    auto grid = builtinSweepGrid(name);
+    ASSERT_TRUE(grid.isOk()) << name;
+    EXPECT_GT(grid->pointCount(), 0u) << name;
+    EXPECT_TRUE(findSweepDriver(grid->driver()).isOk()) << name;
+  }
+  EXPECT_FALSE(builtinSweepGrid("fig9").isOk());
+  EXPECT_FALSE(findSweepDriver("nope").isOk());
+}
+
+}  // namespace
+}  // namespace microedge
