@@ -1,0 +1,251 @@
+// bench_micro_shardsim — sharded-simulation throughput vs shard count.
+//
+// Runs the city-slice harness (testbed/sharded_cluster.hpp) at 1k-node and
+// 10k-node presets across a shard-count sweep and reports simulated
+// frames/s and events/s per shard count, plus the per-run result digest —
+// the digest column doubles as an inline differential check (every shard
+// count must compute the identical digest or the bench aborts).
+//
+//   bench_micro_shardsim --preset=1k --shards=1,2,4,8 --out=BENCH_shardsim.json
+//   bench_micro_shardsim --smoke --shards=4 --dump=metrics.json
+//
+// --smoke runs a small fixed workload and writes its deterministic metrics
+// dump to --dump; CI runs it at shards=1 and shards=4 and byte-compares the
+// two files (the sharded-determinism smoke).
+//
+// Speedup expectations are machine-dependent: shards only help when worker
+// threads land on distinct cores. On a single-core machine the sweep
+// documents PARITY (sharding must not cost throughput); the committed
+// baseline states the core count for exactly that reason.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testbed/sharded_cluster.hpp"
+#include "util/strings.hpp"
+
+using namespace microedge;
+
+namespace {
+
+struct Preset {
+  std::string name;
+  int racks = 0;
+  int tRpisPerRack = 0;
+  int vRpisPerRack = 0;
+  double horizonSeconds = 0;
+};
+
+// Nodes per rack = tRpis + vRpis; streams = racks * vRpis.
+Preset presetByName(const std::string& name) {
+  if (name == "smoke") return {"smoke", 4, 1, 2, 1.0};      // 12 nodes
+  if (name == "1k") return {"1k", 100, 2, 8, 1.0};          // 1000 nodes
+  if (name == "10k") return {"10k", 1000, 2, 8, 0.25};      // 10000 nodes
+  std::cerr << "unknown preset " << name << " (smoke|1k|10k)\n";
+  std::exit(2);
+}
+
+ShardedClusterConfig configFor(const Preset& preset, unsigned shards) {
+  ShardedClusterConfig config;
+  config.shards = shards;
+  config.racks = preset.racks;
+  config.tRpisPerRack = preset.tRpisPerRack;
+  config.vRpisPerRack = preset.vRpisPerRack;
+  config.tpusPerTRpi = 1;
+  config.fps = 15.0;
+  config.frameDeadline = milliseconds(60);
+  config.crossRackStride = 5;  // keep some cross-shard traffic in the mix
+  return config;
+}
+
+struct RunResult {
+  unsigned shards = 0;
+  double wallSeconds = 0;
+  std::uint64_t frames = 0;
+  std::size_t events = 0;
+  std::size_t windows = 0;
+  std::size_t crossMessages = 0;
+  std::uint64_t digest = 0;
+};
+
+RunResult runPreset(const Preset& preset, unsigned shards) {
+  ShardedCluster cluster(configFor(preset, shards));
+  if (!cluster.setupStatus().isOk()) {
+    std::cerr << "setup failed: " << cluster.setupStatus().toString() << "\n";
+    std::exit(1);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t fired =
+      cluster.shardedSim().runFor(secondsF(preset.horizonSeconds));
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.shards = shards;
+  result.wallSeconds = std::chrono::duration<double>(end - start).count();
+  result.frames = cluster.totalSubmitted();
+  result.events = fired;
+  result.windows = cluster.shardedSim().windowCount();
+  result.crossMessages = cluster.shardedSim().crossShardMessages();
+  result.digest = cluster.digest();
+  return result;
+}
+
+bool parseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: bench_micro_shardsim [options]\n"
+      "  --preset=P        smoke | 1k | 10k | all (default all)\n"
+      "  --shards=LIST     comma list of shard counts (default 1,2,4,8)\n"
+      "  --out=PATH        JSON results (default BENCH_shardsim.json)\n"
+      "  --smoke           one small run; with --dump, write its metrics\n"
+      "  --dump=PATH       write the run's deterministic metrics dump\n"
+      "                    (CI byte-compares shards=1 vs shards=4)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string presetName = "all";
+  std::string shardList = "1,2,4,8";
+  std::string outPath = "BENCH_shardsim.json";
+  std::string dumpPath;
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (parseFlag(arg, "preset", &value)) {
+      presetName = value;
+    } else if (parseFlag(arg, "shards", &value)) {
+      shardList = value;
+    } else if (parseFlag(arg, "out", &value)) {
+      outPath = value;
+    } else if (parseFlag(arg, "dump", &value)) {
+      dumpPath = value;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "bench_micro_shardsim: unknown argument " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<unsigned> shardCounts;
+  {
+    std::stringstream ss(shardList);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      shardCounts.push_back(static_cast<unsigned>(std::stoul(token)));
+    }
+  }
+  if (shardCounts.empty()) {
+    usage();
+    return 2;
+  }
+
+  // --smoke: one deterministic small run; the metrics dump is the CI
+  // byte-comparison artifact.
+  if (smoke) {
+    ShardedCluster cluster(configFor(presetByName("smoke"), shardCounts[0]));
+    if (!cluster.setupStatus().isOk()) {
+      std::cerr << "setup failed: " << cluster.setupStatus().toString() << "\n";
+      return 1;
+    }
+    cluster.run(seconds(1));
+    const std::string metrics = cluster.metricsJson();
+    if (!dumpPath.empty()) {
+      std::ofstream out(dumpPath);
+      out << metrics;
+      if (!out) {
+        std::cerr << "cannot write " << dumpPath << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << dumpPath << "\n";
+    } else {
+      std::cout << metrics;
+    }
+    return 0;
+  }
+
+  std::vector<std::string> presetNames =
+      presetName == "all" ? std::vector<std::string>{"1k", "10k"}
+                          : std::vector<std::string>{presetName};
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::string json = strCat(
+      "{\n  \"bench\": \"shardsim\",\n  \"machine_cores\": ", cores,
+      ",\n  \"runs\": [");
+  bool firstRun = true;
+  for (const std::string& name : presetNames) {
+    const Preset preset = presetByName(name);
+    const int nodesPerRack = preset.tRpisPerRack + preset.vRpisPerRack;
+    std::uint64_t referenceDigest = 0;
+    double soloWall = 0;
+    for (unsigned shards : shardCounts) {
+      const RunResult r = runPreset(preset, shards);
+      if (shards == shardCounts.front()) {
+        referenceDigest = r.digest;
+        soloWall = r.wallSeconds;
+      } else if (r.digest != referenceDigest) {
+        // The bench IS a differential run: every shard count must compute
+        // the identical result.
+        std::cerr << "DIGEST MISMATCH at preset " << name << " shards="
+                  << shards << "\n";
+        return 1;
+      }
+      const double framesPerSec =
+          r.wallSeconds > 0 ? static_cast<double>(r.frames) / r.wallSeconds
+                            : 0;
+      const double eventsPerSec =
+          r.wallSeconds > 0 ? static_cast<double>(r.events) / r.wallSeconds
+                            : 0;
+      const double speedup = r.wallSeconds > 0 ? soloWall / r.wallSeconds : 0;
+      json += strCat(firstRun ? "\n" : ",\n",
+                     "    {\"preset\": \"", name, "\", \"nodes\": ",
+                     preset.racks * nodesPerRack,
+                     ", \"shards\": ", shards,
+                     ", \"sim_seconds\": ", preset.horizonSeconds,
+                     ", \"wall_seconds\": ", r.wallSeconds,
+                     ", \"frames\": ", r.frames,
+                     ", \"frames_per_wall_second\": ", framesPerSec,
+                     ", \"events\": ", r.events,
+                     ", \"events_per_wall_second\": ", eventsPerSec,
+                     ", \"windows\": ", r.windows,
+                     ", \"cross_shard_messages\": ", r.crossMessages,
+                     ", \"speedup_vs_first\": ", speedup,
+                     ", \"digest\": ", r.digest, "}");
+      firstRun = false;
+      std::cout << name << " shards=" << shards << ": "
+                << static_cast<std::uint64_t>(framesPerSec)
+                << " frames/s (wall " << r.wallSeconds << " s, speedup "
+                << speedup << "x)\n";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream out(outPath);
+  out << json;
+  if (!out) {
+    std::cerr << "cannot write " << outPath << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << outPath << "\n";
+  return 0;
+}

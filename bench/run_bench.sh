@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json]
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json] [shardsim_output.json]
 #   BUILD_DIR=build   build tree containing bench/bench_micro_sim,
 #                     bench/bench_micro_scheduler, bench/bench_micro_dataplane
 #                     and (with BENCH_CHAOS=1) bench/bench_micro_chaos
@@ -15,6 +15,11 @@
 #                     bytes are identical for any thread/shard count)
 #   BENCH_SWEEP_GRID=fig5      built-in grid or JSON grid file for the sweep
 #   BENCH_SWEEP_THREADS=nproc  sweep worker threads
+#   BENCH_SHARDSIM=1  (default) run the sharded-simulation sweep: simulated
+#                     frames/s vs shard count at 1k and 10k nodes
+#                     (-> BENCH_shardsim.json; the digest column is an
+#                     inline differential — any mismatch aborts the run)
+#   BENCH_SHARDSIM_SHARDS=1,2,4,8  shard counts for the sweep
 #
 # The JSON lands at BENCH_sim.json / BENCH_sched.json / BENCH_dataplane.json
 # by default so the perf trajectory of the event engine, the admission
@@ -33,6 +38,7 @@ SCHED_OUT="${2:-BENCH_sched.json}"
 DP_OUT="${3:-BENCH_dataplane.json}"
 CHAOS_OUT="${4:-BENCH_chaos.json}"
 SWEEP_OUT="${5:-BENCH_sweep.json}"
+SHARDSIM_OUT="${6:-BENCH_shardsim.json}"
 REPS="${REPS:-1}"
 
 run_suite() {
@@ -72,4 +78,23 @@ if [[ "${BENCH_SWEEP:-1}" == "1" ]]; then
     --manifest=none \
     --quiet
   echo "wrote ${SWEEP_OUT}"
+fi
+
+# Sharded-simulation throughput (src/sim/sharded_sim.*): also not a
+# google-benchmark suite — the binary sweeps shard counts over the 1k- and
+# 10k-node city slices and records frames/s, events/s and speedup-vs-solo
+# alongside the machine's core count (speedup is meaningful only when the
+# shard workers land on distinct cores; on one core the sweep documents
+# parity instead).
+if [[ "${BENCH_SHARDSIM:-1}" == "1" ]]; then
+  SHARDSIM_BIN="${BUILD_DIR}/bench/bench_micro_shardsim"
+  if [[ ! -x "${SHARDSIM_BIN}" ]]; then
+    echo "error: ${SHARDSIM_BIN} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+  "${SHARDSIM_BIN}" \
+    --preset=all \
+    --shards="${BENCH_SHARDSIM_SHARDS:-1,2,4,8}" \
+    --out="${SHARDSIM_OUT}"
+  echo "wrote ${SHARDSIM_OUT}"
 fi

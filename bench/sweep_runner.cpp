@@ -29,7 +29,8 @@ void usage() {
       "  --grid=NAME|FILE   built-in grid (fig5|fig6|smoke) or JSON grid\n"
       "                     file (default fig5)\n"
       "  --threads=N        worker threads (default: hardware concurrency;\n"
-      "                     1 = serial path)\n"
+      "                     1 = serial path, 0 = auto — clamp to the\n"
+      "                     machine's hardware concurrency)\n"
       "  --shards=K         shard files to emit alongside --out (default 1)\n"
       "  --out=PATH         merged output (default BENCH_sweep.json)\n"
       "  --manifest=PATH    checkpoint manifest (default <out>.manifest.jsonl,\n"
@@ -69,6 +70,11 @@ int main(int argc, char** argv) {
       gridName = value;
     } else if (parseFlag(arg, "threads", &value)) {
       threads = static_cast<unsigned>(std::stoul(value));
+      // --threads=0 = auto: size to the machine, like the default.
+      if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0) threads = 1;
+      }
     } else if (parseFlag(arg, "shards", &value)) {
       shards = std::stoul(value);
     } else if (parseFlag(arg, "out", &value)) {

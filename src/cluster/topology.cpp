@@ -10,18 +10,33 @@ namespace {
 std::string indexName(const char* prefix, int i) {
   return strCat(prefix, i < 10 ? "0" : "", i);
 }
+// racks <= 1 keeps the legacy flat name; otherwise the rack prefix carries
+// the shard-mapping information (ShardMap::rackOfName parses it back).
+std::string rackedName(int racks, int rack, const char* prefix, int i) {
+  return racks > 1 ? strCat("r", rack, "-", indexName(prefix, i))
+                   : indexName(prefix, i);
+}
 }  // namespace
 
 ClusterTopology::ClusterTopology(Simulator& sim, const ModelRegistry& registry,
                                  TopologySpec spec)
+    : ClusterTopology([&sim](const std::string&) -> Simulator& { return sim; },
+                      registry, std::move(spec)) {}
+
+ClusterTopology::ClusterTopology(const SimProvider& simOf,
+                                 const ModelRegistry& registry,
+                                 TopologySpec spec)
     : spec_(spec), network_(spec.networkConfig) {
+  const int racks = spec_.racks < 1 ? 1 : spec_.racks;
   int tpuIndex = 0;
   for (int i = 0; i < spec_.tRpiCount; ++i) {
-    auto node = std::make_unique<RpiNode>(indexName("trpi-", i),
+    const int rack = i % racks;
+    auto node = std::make_unique<RpiNode>(rackedName(racks, rack, "trpi-", i),
                                           spec_.nodeResources);
     for (int t = 0; t < spec_.tpusPerTRpi; ++t) {
       auto tpu = std::make_unique<TpuDevice>(
-          sim, registry, indexName("tpu-", tpuIndex++), spec_.tpuConfig);
+          simOf(node->name()), registry,
+          rackedName(racks, rack, "tpu-", tpuIndex++), spec_.tpuConfig);
       node->attachTpu(tpu.get());
       tpuById_[tpu->id()] = tpu.get();
       tpuHost_[tpu->id()] = node->name();
@@ -31,7 +46,8 @@ ClusterTopology::ClusterTopology(Simulator& sim, const ModelRegistry& registry,
     nodes_.push_back(std::move(node));
   }
   for (int i = 0; i < spec_.vRpiCount; ++i) {
-    auto node = std::make_unique<RpiNode>(indexName("vrpi-", i),
+    const int rack = i % racks;
+    auto node = std::make_unique<RpiNode>(rackedName(racks, rack, "vrpi-", i),
                                           spec_.nodeResources);
     nodeByName_[node->name()] = node.get();
     nodes_.push_back(std::move(node));

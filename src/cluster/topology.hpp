@@ -5,6 +5,7 @@
 // of them with one Coral TPU each (19 vRPis + 6 tRPis), interconnected by
 // gigabit switches.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,12 @@ struct TopologySpec {
   int vRpiCount = 19;
   int tRpiCount = 6;
   int tpusPerTRpi = 1;
+  // racks > 1 switches to rack-structured names ("r<k>-trpi-03",
+  // "r<k>-vrpi-07", "r<k>-tpu-01"): nodes distribute round-robin (node i ->
+  // rack i % racks) and every TPU inherits its host tRPi's rack. The rack
+  // prefix is what the sharded simulation's ShardMap partitions by; racks
+  // <= 1 keeps the legacy flat names bit for bit.
+  int racks = 1;
   NodeResources nodeResources{};
   TpuHardwareConfig tpuConfig{};
   NetworkConfig networkConfig{};
@@ -29,8 +36,15 @@ struct TopologySpec {
 
 class ClusterTopology {
  public:
+  // Hands each TPU device the Simulator that owns its host node's event
+  // loop — the identity of that Simulator is what binds a device to a shard
+  // in sharded runs (solo runs return the same Simulator for every name).
+  using SimProvider = std::function<Simulator&(const std::string& nodeName)>;
+
   // `registry` must outlive the topology.
   ClusterTopology(Simulator& sim, const ModelRegistry& registry,
+                  TopologySpec spec);
+  ClusterTopology(const SimProvider& simOf, const ModelRegistry& registry,
                   TopologySpec spec);
 
   ClusterTopology(const ClusterTopology&) = delete;

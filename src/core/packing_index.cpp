@@ -1,0 +1,109 @@
+#include "core/packing_index.hpp"
+
+#include <cassert>
+
+namespace microedge {
+
+void ResidualSegTree::assign(const std::vector<std::int64_t>& values) {
+  size_ = values.size();
+  cap_ = 1;
+  while (cap_ < size_) cap_ <<= 1;
+  tree_.assign(cap_ * 2, kNeg);
+  for (std::size_t i = 0; i < size_; ++i) tree_[cap_ + i] = values[i];
+  for (std::size_t i = cap_ - 1; i >= 1; --i) {
+    tree_[i] = std::max(tree_[i * 2], tree_[i * 2 + 1]);
+  }
+}
+
+void ResidualSegTree::update(std::uint32_t pos, std::int64_t value) {
+  assert(pos < size_);
+  std::size_t i = cap_ + pos;
+  tree_[i] = value;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    std::int64_t top = std::max(tree_[i * 2], tree_[i * 2 + 1]);
+    if (tree_[i] == top) break;
+    tree_[i] = top;
+  }
+}
+
+std::uint32_t ResidualSegTree::firstAtLeast(std::uint32_t from,
+                                            std::int64_t threshold) const {
+  if (from >= size_ || tree_.empty()) return kNpos;
+  // Walk up from the `from` leaf: at each level, if the right sibling
+  // subtree (which covers positions > the current covered range) can
+  // contain a match, descend into it; otherwise keep climbing. This visits
+  // O(log n) nodes total.
+  std::size_t i = cap_ + from;
+  if (tree_[i] >= threshold) return from;
+  while (i > 1) {
+    bool isLeft = (i & 1) == 0;
+    i >>= 1;
+    if (isLeft && tree_[i * 2 + 1] >= threshold) {
+      // Descend to the leftmost matching leaf of the right subtree.
+      i = i * 2 + 1;
+      while (i < cap_) {
+        i = tree_[i * 2] >= threshold ? i * 2 : i * 2 + 1;
+      }
+      std::size_t pos = i - cap_;
+      return pos < size_ ? static_cast<std::uint32_t>(pos) : kNpos;
+    }
+  }
+  return kNpos;
+}
+
+void LoadBuckets::insert(std::int64_t residual, std::uint32_t pos) {
+  assert(residual >= 0 && residual <= kMaxResidual);
+  auto b = static_cast<std::size_t>(residual);
+  buckets_[b].insert(pos);
+  words_[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
+void LoadBuckets::erase(std::int64_t residual, std::uint32_t pos) {
+  assert(residual >= 0 && residual <= kMaxResidual);
+  auto b = static_cast<std::size_t>(residual);
+  buckets_[b].erase(pos);
+  if (buckets_[b].empty()) {
+    words_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+  }
+}
+
+void LoadBuckets::clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  for (auto& word : words_) word = 0;
+}
+
+int LoadBuckets::nextNonEmpty(int from) const {
+  if (from < 0) from = 0;
+  if (from > kMaxResidual) return -1;
+  auto b = static_cast<std::size_t>(from);
+  std::uint64_t word = words_[b / 64] >> (b % 64);
+  if (word != 0) {
+    return static_cast<int>(b + static_cast<std::size_t>(__builtin_ctzll(word)));
+  }
+  for (std::size_t w = b / 64 + 1; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64 +
+                              static_cast<std::size_t>(__builtin_ctzll(words_[w])));
+    }
+  }
+  return -1;
+}
+
+int LoadBuckets::prevNonEmpty(int from) const {
+  if (from < 0) return -1;
+  if (from > kMaxResidual) from = static_cast<int>(kMaxResidual);
+  auto b = static_cast<std::size_t>(from);
+  std::uint64_t word = words_[b / 64] << (63 - b % 64);
+  if (word != 0) {
+    return static_cast<int>(b - static_cast<std::size_t>(__builtin_clzll(word)));
+  }
+  for (std::size_t w = b / 64; w-- > 0;) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64 + 63 -
+                              static_cast<std::size_t>(__builtin_clzll(words_[w])));
+    }
+  }
+  return -1;
+}
+
+}  // namespace microedge

@@ -1,0 +1,83 @@
+#pragma once
+
+// Incremental packing indexes for TpuPool (core/tpu_state.hpp).
+//
+// Admission (Algorithm 1) repeatedly asks "which TPU do I try next for a
+// request of u units?" under four packing strategies. Rather than scanning
+// or sorting all M TPUs per admission, the pool keeps two structures that
+// are updated in place on every load change:
+//
+//  - ResidualSegTree: a max segment tree over the per-position clamped
+//    residuals. firstAtLeast(from, u) descends the tree to the leftmost
+//    position >= from whose residual is >= u in O(log M) — the First-Fit
+//    and Next-Fit probe.
+//  - LoadBuckets: residual-bucketed free lists (one ordered set of
+//    positions per milli-unit residual 0..kMaxResidual) plus an occupancy
+//    bitmap over the buckets. Best-Fit walks buckets upward from the
+//    request size (tightest feasible gap first), Worst-Fit downward from
+//    the emptiest; within a bucket, positions enumerate in index order so
+//    the candidate order matches the naive stable sort exactly.
+//
+// Residuals are clamped to [0, kMaxResidual] milli-units (a residual can
+// never exceed one whole TPU, TpuUnit::full()).
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace microedge {
+
+// Max segment tree over int64 values with "leftmost position >= from whose
+// value is >= threshold" descent. Capacity rounds up to a power of two;
+// missing leaves hold kNeg so they never match.
+class ResidualSegTree {
+ public:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  // Rebuilds the tree over `values` (O(n)); capacity rounds up to the next
+  // power of two so subsequent single-slot updates never reallocate.
+  void assign(const std::vector<std::int64_t>& values);
+  // Point update, O(log n).
+  void update(std::uint32_t pos, std::int64_t value);
+  // Leftmost pos in [from, size()) with value >= threshold, or kNpos.
+  std::uint32_t firstAtLeast(std::uint32_t from, std::int64_t threshold) const;
+
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::int64_t kNeg = INT64_MIN;
+
+  std::size_t size_ = 0;  // logical element count
+  std::size_t cap_ = 0;   // leaf capacity (power of two)
+  // 1-based heap layout: tree_[1] is the root, leaves at [cap_, 2*cap_).
+  std::vector<std::int64_t> tree_;
+};
+
+// Residual-bucketed free lists with an occupancy bitmap. Bucket b holds the
+// positions whose clamped residual is exactly b milli-units.
+class LoadBuckets {
+ public:
+  // One whole TPU in milli-units (TpuUnit::full().milli()).
+  static constexpr std::int64_t kMaxResidual = 1000;
+
+  LoadBuckets() : buckets_(kMaxResidual + 1), words_((kMaxResidual + 64) / 64) {}
+
+  void insert(std::int64_t residual, std::uint32_t pos);
+  void erase(std::int64_t residual, std::uint32_t pos);
+  void clear();
+
+  const std::set<std::uint32_t>& at(int bucket) const {
+    return buckets_[static_cast<std::size_t>(bucket)];
+  }
+
+  // Smallest non-empty bucket >= from, or -1. from may exceed kMaxResidual.
+  int nextNonEmpty(int from) const;
+  // Largest non-empty bucket <= from, or -1. from may be negative.
+  int prevNonEmpty(int from) const;
+
+ private:
+  std::vector<std::set<std::uint32_t>> buckets_;
+  std::vector<std::uint64_t> words_;  // occupancy bitmap, bit b = bucket b
+};
+
+}  // namespace microedge

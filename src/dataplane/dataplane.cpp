@@ -1,6 +1,7 @@
 #include "dataplane/dataplane.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/strings.hpp"
 
@@ -8,17 +9,35 @@ namespace microedge {
 
 DataPlane::DataPlane(Simulator& sim, const ClusterTopology& topology,
                      const ModelRegistry& registry)
-    : sim_(sim), registry_(registry), transport_(sim, topology.network()) {
+    : DataPlane(topology, registry, std::make_unique<SoloRouter>(sim),
+                nullptr) {}
+
+DataPlane::DataPlane(ShardRouter& router, const ClusterTopology& topology,
+                     const ModelRegistry& registry)
+    : DataPlane(topology, registry, nullptr, &router) {}
+
+DataPlane::DataPlane(const ClusterTopology& topology,
+                     const ModelRegistry& registry,
+                     std::unique_ptr<SoloRouter> solo, ShardRouter* router)
+    : soloRouter_(std::move(solo)),
+      router_(router != nullptr ? *router : *soloRouter_),
+      registry_(registry), transport_(router_, topology.network()) {
+  const unsigned shards = router_.shardCount();
+  serviceViews_.resize(shards);
+  clientsByShard_.resize(shards);
+  loadRetriesByShard_.assign(shards, 0);
   for (const auto& tpu : topology.tpus()) {
     auto service =
         std::make_unique<TpuService>(*tpu, topology.nodeOfTpu(tpu->id()));
     TpuId handle = service->tpu();
-    if (handle.value >= serviceById_.size()) {
-      serviceById_.resize(handle.value + 1, nullptr);
+    for (unsigned s = 0; s < shards; ++s) {
+      auto& view = serviceViews_[s];
+      if (handle.value >= view.size()) view.resize(handle.value + 1, nullptr);
+      view[handle.value] = service.get();
     }
-    serviceById_[handle.value] = service.get();
     services_.emplace(tpu->id(), std::move(service));
   }
+  liveCount_.assign(shards, services_.size());
 }
 
 DataPlane::~DataPlane() {
@@ -30,34 +49,64 @@ DataPlane::~DataPlane() {
 
 TpuService* DataPlane::service(const std::string& tpuId) {
   auto it = services_.find(tpuId);
-  return it == services_.end() ? nullptr : it->second.get();
+  if (it == services_.end()) return nullptr;
+  // The map never forgets a service; aliveness is the calling shard's view.
+  return serviceById(it->second->tpu());
 }
 
 TpuService* DataPlane::serviceById(TpuId tpu) {
-  return tpu.valid() && tpu.value < serviceById_.size()
-             ? serviceById_[tpu.value]
-             : nullptr;
+  const auto& view = serviceViews_[ShardRouter::currentShard()];
+  return tpu.valid() && tpu.value < view.size() ? view[tpu.value] : nullptr;
 }
 
 std::vector<TpuService*> DataPlane::services() {
   std::vector<TpuService*> out;
-  out.reserve(services_.size());
-  for (auto& [id, service] : services_) out.push_back(service.get());
+  out.reserve(liveCount_[ShardRouter::currentShard()]);
+  for (auto& [id, service] : services_) {
+    if (serviceById(service->tpu()) != nullptr) out.push_back(service.get());
+  }
   return out;
+}
+
+bool DataPlane::removeFromShard(unsigned shard, TpuId handle) {
+  auto& view = serviceViews_[shard];
+  if (handle.value >= view.size() || view[handle.value] == nullptr) {
+    return false;
+  }
+  view[handle.value] = nullptr;
+  --liveCount_[shard];
+  // Fail fast: frames already shipped toward the dead service would only
+  // discover the loss at their arrival event; broadcast the removal so they
+  // re-route (or terminate with an explicit outcome) right now. Only this
+  // shard's clients — their state belongs to this shard's event loop.
+  for (TpuClient* client : clientsByShard_[shard]) {
+    client->onServiceRemoved(handle);
+  }
+  return true;
 }
 
 void DataPlane::removeService(const std::string& tpuId) {
   auto it = services_.find(tpuId);
   if (it == services_.end()) return;
-  TpuId handle = it->second->tpu();
-  if (handle.value < serviceById_.size()) {
-    serviceById_[handle.value] = nullptr;
+  TpuService* service = it->second.get();
+  const TpuId handle = service->tpu();
+  const unsigned here = ShardRouter::currentShard();
+  const unsigned shards = router_.shardCount();
+  // Sharded runs: the removal must originate on the service's owner shard
+  // (the failure is a local hardware event there).
+  assert(shards == 1 || router_.shardOfNode(service->nodeId()) == here);
+  if (!removeFromShard(here, handle)) return;  // already removed
+  if (shards > 1) {
+    // Failure-detection broadcast: every other shard observes the removal
+    // one lookahead later — the minimum cross-shard notification latency
+    // the conservative window already accounts for.
+    const SimTime noticeAt = router_.currentSim().now() + router_.lookahead();
+    for (unsigned s = 0; s < shards; ++s) {
+      if (s == here) continue;
+      router_.postToShard(s, noticeAt,
+                          [this, s, handle] { removeFromShard(s, handle); });
+    }
   }
-  services_.erase(it);
-  // Fail fast: frames already shipped toward the dead service would only
-  // discover the loss at their arrival event; broadcast the removal so they
-  // re-route (or terminate with an explicit outcome) right now.
-  for (TpuClient* client : clients_) client->onServiceRemoved(handle);
 }
 
 Status DataPlane::executeLoad(const LoadCommand& command) {
@@ -81,11 +130,11 @@ void DataPlane::executeLoadWithRetry(LoadCommand command, ExpBackoff backoff,
 
 void DataPlane::retryLoad(LoadCommand command, ExpBackoff backoff,
                           std::uint32_t attempt, LoadDone done) {
-  sim_.scheduleAfter(
+  router_.currentSim().scheduleAfter(
       backoff.delay(attempt),
       [this, command = std::move(command), backoff, attempt,
        done = std::move(done)]() mutable {
-        ++loadRetries_;
+        ++loadRetriesByShard_[ShardRouter::currentShard()];
         Status s = executeLoad(command);
         // Success, budget exhausted, or the service disappeared while we
         // were backing off (permanent — eviction is the caller's move).
@@ -96,6 +145,12 @@ void DataPlane::retryLoad(LoadCommand command, ExpBackoff backoff,
         }
         retryLoad(std::move(command), backoff, attempt + 1, std::move(done));
       });
+}
+
+std::uint64_t DataPlane::loadRetries() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t r : loadRetriesByShard_) n += r;
+  return n;
 }
 
 std::unique_ptr<TpuClient> DataPlane::makeClient(std::string clientNode,
@@ -109,13 +164,19 @@ std::unique_ptr<TpuClient> DataPlane::makeClient(std::string clientNode,
 }
 
 std::unique_ptr<TpuClient> DataPlane::makeClient(TpuClient::Config config) {
+  const unsigned shard = router_.shardOfNode(internNode(config.clientNode));
   auto client = std::make_unique<TpuClient>(
-      sim_, registry_, transport_,
-      [this](TpuId tpu) { return serviceById(tpu); }, std::move(config));
+      router_.shardSim(shard), registry_, transport_,
+      [this](TpuId tpu) { return serviceById(tpu); }, std::move(config),
+      &router_);
   clients_.push_back(client.get());
-  client->setOnDestroy([this](TpuClient* dying) {
+  clientsByShard_[shard].push_back(client.get());
+  client->setOnDestroy([this, shard](TpuClient* dying) {
     clients_.erase(std::remove(clients_.begin(), clients_.end(), dying),
                    clients_.end());
+    auto& bucket = clientsByShard_[shard];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), dying),
+                 bucket.end());
   });
   return client;
 }

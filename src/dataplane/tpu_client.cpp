@@ -34,12 +34,16 @@ const std::string& FrameBreakdown::servedByName() const {
 
 TpuClient::TpuClient(Simulator& sim, const ModelRegistry& registry,
                      SimTransport& transport, Directory directory,
-                     Config config)
+                     Config config, ShardRouter* router)
     : sim_(sim), registry_(registry), transport_(transport),
       directory_(std::move(directory)), config_(std::move(config)),
-      clientNode_(internNode(config_.clientNode)),
+      router_(router), clientNode_(internNode(config_.clientNode)),
       model_(internModel(config_.model)), lb_(config_.spread) {
   lb_.setHealthConfig(config_.health);
+  if (router_ != nullptr && router_->shardCount() > 1) {
+    sharded_ = true;
+    myShard_ = router_->shardOfNode(clientNode_);
+  }
 }
 
 TpuClient::~TpuClient() {
@@ -205,11 +209,140 @@ Status TpuClient::invoke(CompletionCallback done) {
   // then the request hop. The preprocess stage delays departure
   // (departAfter) rather than taking its own event; only the wire latency
   // lands in requestTransmit.
+  if (sharded_ && router_->shardOfNode(c->serviceNode) != myShard_) {
+    submitRemote(h, c, /*departAfter=*/info->preprocessLatency);
+    return Status::ok();
+  }
   c->breakdown.requestTransmit = transport_.send(
       clientNode_, c->serviceNode, c->inputBytes,
       [this, h] { onRequestDelivered(h); },
       /*departAfter=*/info->preprocessLatency);
   return Status::ok();
+}
+
+// ---- Cross-shard remote path ------------------------------------------------
+
+void TpuClient::submitRemote(Handle h, InvokeContext* c,
+                             SimDuration departAfter) {
+  bool dropped = false;
+  SimDuration reqLat = transport_.sendRouted(clientNode_, c->serviceNode,
+                                             c->inputBytes, &dropped);
+  c->breakdown.requestTransmit += reqLat;
+  if (dropped) return;  // lost on the wire; the deadline timer notices
+  RemoteHop hop;
+  hop.client = this;
+  hop.h = h;
+  hop.target = c->breakdown.servedBy;
+  hop.model = model_;
+  hop.serviceNode = c->serviceNode;
+  hop.clientNode = clientNode_;
+  hop.clientShard = myShard_;
+  hop.inferenceEstimate = c->inferenceEstimate;
+  hop.deadlineAt = config_.frameDeadline > SimDuration::zero()
+                       ? c->deadlineAt
+                       : SimTime::max();
+  hop.outputBytes = c->outputBytes;
+  hop.postprocess = c->postprocessLatency;
+  // Arrival time is exactly the solo path's: now + departAfter + transfer
+  // latency. Cross-shard implies cross-node, so reqLat >= the network base
+  // latency == the router's lookahead and the mailbox invariant holds.
+  const SimTime arriveAt = sim_.now() + departAfter + reqLat;
+  router_->postToShard(router_->shardOfNode(c->serviceNode), arriveAt,
+                       [hop] { remoteArrival(hop); });
+}
+
+void TpuClient::remoteArrival(RemoteHop hop) {
+  // Runs on the service shard: only the envelope, the service's own state
+  // and this shard's transport lane may be touched here.
+  TpuClient* client = hop.client;
+  Simulator& sim = client->router_->currentSim();
+  TpuService* service = client->directory_(hop.target);
+  if (service == nullptr) {
+    postRemoteNack(hop, RemoteNack::kDeadTarget);
+    return;
+  }
+  // Deadline-based shedding, same predicate as onRequestDelivered.
+  if (hop.deadlineAt != SimTime::max()) {
+    SimDuration wait =
+        service->device().estimatedBacklog(sim.now(), hop.inferenceEstimate);
+    if (sim.now() + wait + hop.inferenceEstimate > hop.deadlineAt) {
+      postRemoteNack(hop, RemoteNack::kShed);
+      return;
+    }
+  }
+  Status s = service->invoke(
+      hop.model, [hop](const TpuDevice::InvokeStats& stats) {
+        remoteComplete(hop, stats);
+      });
+  if (!s.isOk()) postRemoteNack(hop, RemoteNack::kRejected);
+}
+
+void TpuClient::remoteComplete(const RemoteHop& hop,
+                               const TpuDevice::InvokeStats& stats) {
+  // Still on the service shard, at the device's finish time t2. The
+  // response hop is modelled on this shard's lane; the client-side
+  // completion lands at t2 + postprocess + respLat — identical to the solo
+  // formulation's fused stages 4+5.
+  TpuClient* client = hop.client;
+  Simulator& sim = client->router_->currentSim();
+  bool dropped = false;
+  SimDuration respLat = client->transport_.sendRouted(
+      hop.serviceNode, hop.clientNode, hop.outputBytes, &dropped);
+  if (dropped) return;
+  const SimTime deliverAt = sim.now() + hop.postprocess + respLat;
+  client->router_->postToShard(
+      hop.clientShard, deliverAt,
+      [client, h = hop.h, queueDelay = stats.queueDelay,
+       serviceTime = stats.serviceTime, respLat] {
+        client->onRemoteDone(h, queueDelay, serviceTime, respLat);
+      });
+}
+
+void TpuClient::postRemoteNack(const RemoteHop& hop, RemoteNack kind) {
+  // Arrival-time failure: solo resolves these synchronously on the client;
+  // cross-shard the client learns one control message later. Zero-byte
+  // piggyback — deliberately not counted in the transport's counters.
+  TpuClient* client = hop.client;
+  Simulator& sim = client->router_->currentSim();
+  SimDuration delay = std::max(
+      client->transport_.network().controlLatency(hop.serviceNode,
+                                                  hop.clientNode),
+      client->router_->lookahead());
+  client->router_->postToShard(
+      hop.clientShard, sim.now() + delay,
+      [client, h = hop.h, kind] { client->onRemoteNack(h, kind); });
+}
+
+void TpuClient::onRemoteDone(Handle h, SimDuration queueDelay,
+                             SimDuration serviceTime,
+                             SimDuration responseTransmit) {
+  InvokeContext* c = pool_.get(h);
+  if (c == nullptr) return;  // frame already terminal; stale event
+  c->breakdown.queueDelay = queueDelay;
+  c->breakdown.inference = serviceTime;
+  c->breakdown.postprocess = c->postprocessLatency;
+  c->breakdown.responseTransmit = responseTransmit;
+  finish(h, FrameOutcome::kCompleted);
+}
+
+void TpuClient::onRemoteNack(Handle h, RemoteNack kind) {
+  InvokeContext* c = pool_.get(h);
+  if (c == nullptr) return;  // deadline beat the NACK home; stale event
+  switch (kind) {
+    case RemoteNack::kShed:
+      // Mirrors onRequestDelivered: shedding is not breaker feedback (the
+      // target is alive, just oversubscribed).
+      finish(h, FrameOutcome::kShed);
+      return;
+    case RemoteNack::kDeadTarget:
+      lb_.recordFailure(c->targetIndex, sim_.now());
+      if (!tryFailover(h, c)) finish(h, FrameOutcome::kDroppedDeadTarget);
+      return;
+    case RemoteNack::kRejected:
+      lb_.recordFailure(c->targetIndex, sim_.now());
+      if (!tryFailover(h, c)) finish(h, FrameOutcome::kRejected);
+      return;
+  }
 }
 
 bool TpuClient::tryFailover(Handle h, InvokeContext* c) {
@@ -245,6 +378,10 @@ bool TpuClient::tryFailover(Handle h, InvokeContext* c) {
   nc->targetIndex = static_cast<std::uint32_t>(index);
   // Re-ship the already-preprocessed frame to the new target; transmit cost
   // accumulates across attempts.
+  if (sharded_ && router_->shardOfNode(nc->serviceNode) != myShard_) {
+    submitRemote(nh, nc, SimDuration::zero());
+    return true;
+  }
   nc->breakdown.requestTransmit += transport_.send(
       clientNode_, nc->serviceNode, nc->inputBytes,
       [this, nh] { onRequestDelivered(nh); });

@@ -44,6 +44,23 @@
 // Object lifetime: completions reference the client; the experiment harness
 // keeps client objects alive until the simulation drains (a stopped client
 // simply refuses new invokes).
+//
+// Sharded runs: a client is bound to its node's shard (its Simulator& IS
+// that shard's event loop; invoke() and every client-side stage run there).
+// A frame whose target TPU lives on another shard takes the remote path:
+// the request hop is modelled with SimTransport::sendRouted (accounting on
+// the client shard's lane) and a RemoteHop envelope — a POD copy of
+// everything the service side needs — is posted through the router's
+// mailbox to arrive at exactly the same timestamp the solo path would
+// deliver it. The service-shard stages (arrival, shed check, device invoke,
+// completion) touch only service-shard state plus the envelope, then post
+// the response back; timestamps of the healthy pipeline are bit-identical
+// to the solo path. Failure NACKs (dead target, shed, reject) are the one
+// divergence: solo resolves them instantly on the client, cross-shard they
+// ride a control message back (one controlLatency >= lookahead later) —
+// the differential suite keeps deadline-carrying streams rack-local so
+// these paths never occur cross-shard. NACKs are zero-byte control
+// piggybacks and are not counted in the transport's message counters.
 
 #include <array>
 #include <cstdint>
@@ -55,6 +72,7 @@
 #include "dataplane/tpu_service.hpp"
 #include "dataplane/transport.hpp"
 #include "models/registry.hpp"
+#include "sim/sharded_sim.hpp"
 #include "sim/simulator.hpp"
 #include "util/event_fn.hpp"
 #include "util/intern.hpp"
@@ -116,8 +134,13 @@ class TpuClient {
   // context slot without a std::function heap allocation per frame.
   using CompletionCallback = MoveFn<void(const FrameBreakdown&)>;
 
+  // `sim` must be the event loop of the client node's shard; `router` (may
+  // be null, and may be a SoloRouter) enables the cross-shard remote path —
+  // with a null router or shardCount() == 1 the client behaves exactly as
+  // before sharding existed.
   TpuClient(Simulator& sim, const ModelRegistry& registry,
-            SimTransport& transport, Directory directory, Config config);
+            SimTransport& transport, Directory directory, Config config,
+            ShardRouter* router = nullptr);
   ~TpuClient();
 
   // Seeds the embedded LB Service (done by the extended scheduler at pod
@@ -187,6 +210,45 @@ class TpuClient {
     CompletionCallback done;
   };
 
+  // Why a cross-shard NACK exists: the service-shard stages cannot touch
+  // the client's slab pool or LB state, so arrival-time failures are
+  // reported back as a control message and resolved on the client's shard.
+  enum class RemoteNack : std::uint8_t { kDeadTarget, kShed, kRejected };
+
+  // Everything the service-shard stages need, copied out of the context
+  // slot at submit time (the slot itself is client-shard state and may be
+  // concurrently recycled). ~90 bytes; posting it through the mailbox costs
+  // one MoveFn heap allocation per cross-shard frame — the price of leaving
+  // the same-shard fast path allocation-free.
+  struct RemoteHop {
+    TpuClient* client = nullptr;
+    Handle h{};
+    TpuId target{};
+    ModelId model{};
+    NodeId serviceNode{};
+    NodeId clientNode{};
+    unsigned clientShard = 0;
+    SimDuration inferenceEstimate{};
+    SimTime deadlineAt{};  // SimTime::max() when the frame has no deadline
+    std::size_t outputBytes = 0;
+    SimDuration postprocess{};
+  };
+
+  // Client-shard half of the remote path: models the request hop on this
+  // shard's transport lane and posts the envelope to the service shard at
+  // the exact solo-path arrival time (now + departAfter + transfer latency).
+  void submitRemote(Handle h, InvokeContext* c, SimDuration departAfter);
+  // Service-shard stages (static: they run on another shard's event loop
+  // and must only touch the envelope + service-shard state).
+  static void remoteArrival(RemoteHop hop);
+  static void remoteComplete(const RemoteHop& hop,
+                             const TpuDevice::InvokeStats& stats);
+  static void postRemoteNack(const RemoteHop& hop, RemoteNack kind);
+  // Client-shard completions of the remote path.
+  void onRemoteDone(Handle h, SimDuration queueDelay, SimDuration serviceTime,
+                    SimDuration responseTransmit);
+  void onRemoteNack(Handle h, RemoteNack kind);
+
   // Draws healthy targets from the LB until one resolves to a live service
   // (each dead draw feeds the breaker). Returns nullptr when none does.
   TpuService* routeToLiveTarget(std::size_t* index);
@@ -214,8 +276,11 @@ class TpuClient {
   Simulator& sim_;
   const ModelRegistry& registry_;
   SimTransport& transport_;
-  Directory directory_;
+  Directory directory_;  // immutable after construction (read cross-shard)
   Config config_;
+  ShardRouter* router_ = nullptr;
+  unsigned myShard_ = 0;  // shard owning clientNode_ (== this client's sim_)
+  bool sharded_ = false;  // router present with >1 shard: remote path armed
   NodeId clientNode_{};  // interned once; every frame's transport endpoint
   ModelId model_{};      // interned once; every frame's invoke argument
   LbService lb_;

@@ -2,26 +2,39 @@
 
 namespace microedge {
 
-SimDuration SimTransport::send(NodeId fromNode, NodeId toNode,
-                               std::size_t bytes, EventFn onDelivered,
-                               SimDuration departAfter) {
+SimDuration SimTransport::modelMessage(Lane& lane, NodeId fromNode,
+                                       NodeId toNode, std::size_t bytes,
+                                       bool* dropped) {
   SimDuration latency = network_.transferLatency(fromNode, toNode, bytes);
-  ++messages_;
-  bytes_ += bytes;
-  if (faultActive_) {
-    if (lossProbability_ > 0.0 && faultRng_.bernoulli(lossProbability_)) {
+  ++lane.messages;
+  lane.bytes += bytes;
+  *dropped = false;
+  if (lane.faultActive) {
+    if (lane.lossProbability > 0.0 &&
+        lane.faultRng.bernoulli(lane.lossProbability)) {
       // Dropped on the wire: the delivery callback never fires. The sender
       // still paid the modelled latency (returned for the breakdown); the
       // loss surfaces as a frame that never comes back.
-      ++dropped_;
+      ++lane.dropped;
+      *dropped = true;
       return latency;
     }
-    if (latencyMultiplier_ != 1.0) {
+    if (lane.latencyMultiplier != 1.0) {
       latency = SimDuration{static_cast<SimDuration::rep>(
-          static_cast<double>(latency.count()) * latencyMultiplier_)};
+          static_cast<double>(latency.count()) * lane.latencyMultiplier)};
     }
   }
-  sim_.scheduleAfter(departAfter + latency, std::move(onDelivered));
+  return latency;
+}
+
+SimDuration SimTransport::send(NodeId fromNode, NodeId toNode,
+                               std::size_t bytes, EventFn onDelivered,
+                               SimDuration departAfter) {
+  bool dropped = false;
+  SimDuration latency = modelMessage(lane(), fromNode, toNode, bytes, &dropped);
+  if (dropped) return latency;
+  Simulator& sim = router_ != nullptr ? router_->currentSim() : *sim_;
+  sim.scheduleAfter(departAfter + latency, std::move(onDelivered));
   return latency;
 }
 
@@ -32,12 +45,62 @@ SimDuration SimTransport::send(const std::string& fromNode,
               std::move(onDelivered), departAfter);
 }
 
+SimDuration SimTransport::sendRouted(NodeId fromNode, NodeId toNode,
+                                     std::size_t bytes, bool* dropped) {
+  return modelMessage(lane(), fromNode, toNode, bytes, dropped);
+}
+
 void SimTransport::setFault(double lossProbability, double latencyMultiplier,
                             std::uint64_t seed) {
-  faultActive_ = true;
-  lossProbability_ = lossProbability;
-  latencyMultiplier_ = latencyMultiplier;
-  faultRng_ = Pcg32{seed};
+  for (std::size_t s = 0; s < lanes_.size(); ++s) {
+    lanes_[s].faultActive = true;
+    lanes_[s].lossProbability = lossProbability;
+    lanes_[s].latencyMultiplier = latencyMultiplier;
+    lanes_[s].faultRng = Pcg32{seed + s};
+  }
+}
+
+void SimTransport::clearFault() {
+  for (Lane& lane : lanes_) lane.faultActive = false;
+}
+
+void SimTransport::setFaultOnLane(unsigned shard, double lossProbability,
+                                  double latencyMultiplier,
+                                  std::uint64_t seed) {
+  Lane& lane = lanes_[shard];
+  lane.faultActive = true;
+  lane.lossProbability = lossProbability;
+  lane.latencyMultiplier = latencyMultiplier;
+  lane.faultRng = Pcg32{seed + shard};
+}
+
+void SimTransport::clearFaultOnLane(unsigned shard) {
+  lanes_[shard].faultActive = false;
+}
+
+bool SimTransport::faultActive() const {
+  for (const Lane& lane : lanes_) {
+    if (lane.faultActive) return true;
+  }
+  return false;
+}
+
+std::size_t SimTransport::droppedMessages() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.dropped;
+  return n;
+}
+
+std::size_t SimTransport::messagesSent() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.messages;
+  return n;
+}
+
+std::size_t SimTransport::bytesSent() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.bytes;
+  return n;
 }
 
 }  // namespace microedge

@@ -18,12 +18,24 @@
 // returned/attributed to transmission. Folding that stage into the delivery
 // event halves the client pipeline's event count without changing any
 // timestamp.
+//
+// Sharded runs: one SimTransport serves every shard. All mutable state —
+// counters and the fault window's RNG — lives in per-shard cache-line-sized
+// lanes indexed by ShardRouter::currentShard(), so concurrent shard workers
+// never touch the same bytes. send() schedules on the calling shard's own
+// Simulator and is therefore only correct for same-shard deliveries; a
+// cross-shard hop uses sendRouted() (model + account, no scheduling) and
+// posts the delivery through the router's mailbox itself. The solo
+// constructor degenerates to a single lane with the exact pre-sharding
+// behaviour.
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cluster/network.hpp"
+#include "sim/sharded_sim.hpp"
 #include "sim/simulator.hpp"
 #include "util/event_fn.hpp"
 #include "util/intern.hpp"
@@ -34,13 +46,16 @@ namespace microedge {
 class SimTransport {
  public:
   SimTransport(Simulator& sim, const NetworkModel& network)
-      : sim_(sim), network_(network) {}
+      : sim_(&sim), network_(network), lanes_(1) {}
+  SimTransport(ShardRouter& router, const NetworkModel& network)
+      : router_(&router), network_(network), lanes_(router.shardCount()) {}
 
   // Delivers `onDelivered` after the transfer latency of `bytes` from
   // `fromNode` to `toNode` (plus `departAfter` of sender-side delay).
   // Returns the modelled transfer latency (for breakdowns). EventFn keeps
   // inline-sized completion closures off the heap all the way into the
-  // event slot.
+  // event slot. Sharded runs: delivery is scheduled on the calling shard's
+  // Simulator, so both endpoints must live on that shard.
   SimDuration send(NodeId fromNode, NodeId toNode, std::size_t bytes,
                    EventFn onDelivered,
                    SimDuration departAfter = SimDuration::zero());
@@ -50,31 +65,67 @@ class SimTransport {
                    std::size_t bytes, EventFn onDelivered,
                    SimDuration departAfter = SimDuration::zero());
 
+  // Models and accounts a message WITHOUT scheduling its delivery: returns
+  // the (fault-adjusted) transfer latency and sets *dropped when the fault
+  // window eats the message. The caller owns delivery — this is the
+  // cross-shard path, where the delivery event must travel through the
+  // router's mailbox rather than the local event loop.
+  SimDuration sendRouted(NodeId fromNode, NodeId toNode, std::size_t bytes,
+                         bool* dropped);
+
+  const NetworkModel& network() const { return network_; }
+
   // Fault window (driven by the fault injector): every message is dropped
   // with `lossProbability` (its delivery callback never fires — the frame's
   // deadline timer is what notices), and surviving deliveries take
   // `latencyMultiplier` times the modelled latency. Draws come from a
   // dedicated seeded Pcg32 so a replayed plan drops identical messages.
-  // Steady-state cost with no fault active: one branch on faultActive_.
+  // Sharded runs seed lane s with `seed + s`: each shard's drop sequence is
+  // a pure function of (seed, shard, its own send order), so replays remain
+  // deterministic at any shard count. Steady-state cost with no fault
+  // active: one branch per send.
   void setFault(double lossProbability, double latencyMultiplier,
                 std::uint64_t seed);
-  void clearFault() { faultActive_ = false; }
-  bool faultActive() const { return faultActive_; }
-  std::size_t droppedMessages() const { return dropped_; }
+  void clearFault();
+  // Single-lane variants for sharded runs: a fault window that starts or
+  // ends mid-run must be armed as one event per shard, each touching only
+  // its own lane (the whole-transport setters above write every lane and
+  // are only safe while no shard worker is sending). Lane s draws from
+  // Pcg32{seed + s}, matching setFault's seeding.
+  void setFaultOnLane(unsigned shard, double lossProbability,
+                      double latencyMultiplier, std::uint64_t seed);
+  void clearFaultOnLane(unsigned shard);
+  bool faultActive() const;
+  std::size_t droppedMessages() const;
 
-  std::size_t messagesSent() const { return messages_; }
-  std::size_t bytesSent() const { return bytes_; }
+  std::size_t messagesSent() const;
+  std::size_t bytesSent() const;
 
  private:
-  Simulator& sim_;
+  // One lane per shard: all counters and fault state a shard worker mutates
+  // on its send path, padded to a cache line so lanes never false-share.
+  struct alignas(64) Lane {
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+    std::size_t dropped = 0;
+    bool faultActive = false;
+    double lossProbability = 0.0;
+    double latencyMultiplier = 1.0;
+    Pcg32 faultRng{0};
+  };
+
+  Lane& lane() {
+    return lanes_[router_ != nullptr ? ShardRouter::currentShard() : 0];
+  }
+  // Accounts the message on `lane` and returns its fault-adjusted latency;
+  // sets *dropped when the fault window eats it.
+  SimDuration modelMessage(Lane& lane, NodeId fromNode, NodeId toNode,
+                           std::size_t bytes, bool* dropped);
+
+  Simulator* sim_ = nullptr;       // solo mode
+  ShardRouter* router_ = nullptr;  // sharded mode
   const NetworkModel& network_;
-  std::size_t messages_ = 0;
-  std::size_t bytes_ = 0;
-  std::size_t dropped_ = 0;
-  bool faultActive_ = false;
-  double lossProbability_ = 0.0;
-  double latencyMultiplier_ = 1.0;
-  Pcg32 faultRng_{0};
+  std::vector<Lane> lanes_;
 };
 
 }  // namespace microedge

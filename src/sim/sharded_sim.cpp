@@ -1,0 +1,174 @@
+#include "sim/sharded_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sweep/thread_pool.hpp"
+
+namespace microedge {
+
+namespace {
+// Shard whose event loop this thread is executing; 0 everywhere outside a
+// sharded run's worker threads (setup, solo runs, tests).
+thread_local unsigned tlsCurrentShard = 0;
+}  // namespace
+
+unsigned ShardRouter::currentShard() { return tlsCurrentShard; }
+
+ShardedSim::ShardedSim(unsigned shards, SimDuration lookahead)
+    : map_(shards), lookahead_(lookahead) {
+  assert(lookahead > SimDuration::zero() && "lookahead must be positive");
+  const unsigned n = map_.shards();
+  sims_.reserve(n);
+  for (unsigned s = 0; s < n; ++s) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  mail_.resize(static_cast<std::size_t>(n) * n);
+}
+
+void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
+  assert(shard < sims_.size());
+  const unsigned src = currentShard();
+  if (!running_ || shard == src) {
+    // Setup-phase arming (single-threaded, no worker owns any sim yet) or a
+    // same-shard post: schedule directly, exactly like the solo path.
+    sims_[shard]->schedule(deliverAt, std::move(fn));
+    return;
+  }
+  // Conservative-lookahead soundness: a message sent at t must not be
+  // deliverable before t + lookahead, else a neighbour inside the current
+  // window could miss it.
+  assert(deliverAt >= sims_[src]->now() + lookahead_ &&
+         "cross-shard delivery inside the lookahead window");
+  Mailbox& box = mailbox(src, shard);
+  assert(box.msgs.size() < kMailboxCapacity && "mailbox overflow");
+  MailMsg msg;
+  msg.deliverAt = deliverAt;
+  msg.sentAt = sims_[src]->now();
+  msg.srcSeq = box.nextSeq++;
+  msg.fn = std::move(fn);
+  box.msgs.push_back(std::move(msg));
+}
+
+void ShardedSim::serialPhase(SimTime deadline) {
+  const unsigned n = static_cast<unsigned>(sims_.size());
+  // Drain every mailbox in deterministic merge order. Within one (src,dst)
+  // pair messages are already in send order; across pairs, order by
+  // (deliverAt, sentAt, srcShard, srcSeq) so the schedule-sequence numbers
+  // the destination assigns — the equal-timestamp tiebreak — depend only on
+  // simulation state, never on which worker thread ran first.
+  struct Drained {
+    MailMsg msg;
+    unsigned src;
+    unsigned dst;
+  };
+  std::vector<Drained> drained;
+  for (unsigned src = 0; src < n; ++src) {
+    for (unsigned dst = 0; dst < n; ++dst) {
+      Mailbox& box = mailbox(src, dst);
+      for (MailMsg& m : box.msgs) {
+        drained.push_back(Drained{std::move(m), src, dst});
+      }
+      box.msgs.clear();
+    }
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const Drained& a, const Drained& b) {
+              if (a.msg.deliverAt != b.msg.deliverAt)
+                return a.msg.deliverAt < b.msg.deliverAt;
+              if (a.msg.sentAt != b.msg.sentAt)
+                return a.msg.sentAt < b.msg.sentAt;
+              if (a.src != b.src) return a.src < b.src;
+              return a.msg.srcSeq < b.msg.srcSeq;
+            });
+  crossMessages_ += drained.size();
+  for (Drained& d : drained) {
+    // Delivery-time invariant: everything sent in the closed window is due
+    // at or after the bound every shard just advanced to.
+    assert(d.msg.deliverAt >= sims_[d.dst]->now());
+    sims_[d.dst]->schedule(d.msg.deliverAt, std::move(d.msg.fn));
+  }
+
+  // Next conservative window.
+  SimTime minNext = SimTime::max();
+  bool allAtDeadline = true;
+  for (unsigned s = 0; s < n; ++s) {
+    minNext = std::min(minNext, sims_[s]->nextEventTime());
+    allAtDeadline = allAtDeadline && sims_[s]->now() >= deadline;
+  }
+  const SimTime pastDeadline = deadline + nanoseconds(1);
+  if (minNext > deadline) {
+    // Nothing left inside the horizon: one final window advances every
+    // clock to the deadline, the round after that observes it and stops.
+    done_ = allAtDeadline;
+    windowBound_ = pastDeadline;
+    windowAdvanceTo_ = deadline;
+  } else {
+    windowBound_ = std::min(minNext + lookahead_, pastDeadline);
+    windowAdvanceTo_ = std::min(windowBound_, deadline);
+  }
+  ++windows_;
+}
+
+void ShardedSim::workerLoop(unsigned shard, SimTime deadline) {
+  InternDomainAdopt adopt(*domain_);
+  tlsCurrentShard = shard;
+  const unsigned n = static_cast<unsigned>(sims_.size());
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(barrierMu_);
+      if (++arrived_ == n) {
+        // Leader: every peer is parked, mailboxes and sims are quiescent.
+        serialPhase(deadline);
+        arrived_ = 0;
+        ++barrierEpoch_;
+        barrierCv_.notify_all();
+      } else {
+        const std::uint64_t epoch = barrierEpoch_;
+        barrierCv_.wait(lock, [&] { return barrierEpoch_ != epoch; });
+      }
+      if (done_) break;
+    }
+    sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
+  }
+  tlsCurrentShard = 0;
+}
+
+std::size_t ShardedSim::run(SimTime deadline) {
+  assert(!running_ && "ShardedSim::run is not reentrant");
+  std::size_t firedBefore = 0;
+  for (const auto& sim : sims_) firedBefore += sim->firedCount();
+
+  if (sims_.size() == 1) {
+    // Canonical path: the plain engine loop, bit for bit.
+    sims_[0]->runUntil(deadline);
+  } else {
+    domain_ = &currentInternDomain();
+    done_ = false;
+    running_ = true;
+    // One long-lived task per shard on a pool sized threads == shards: each
+    // worker thread binds to one shard for the whole run (fewer threads
+    // would deadlock the barrier; WorkStealingPool's inline path must never
+    // trigger, which shardCount() >= 2 guarantees).
+    WorkStealingPool pool(static_cast<unsigned>(sims_.size()));
+    std::vector<WorkStealingPool::Task> tasks;
+    tasks.reserve(sims_.size());
+    for (unsigned s = 0; s < sims_.size(); ++s) {
+      tasks.emplace_back([this, s, deadline] { workerLoop(s, deadline); });
+    }
+    pool.run(std::move(tasks));
+    running_ = false;
+  }
+
+  std::size_t firedAfter = 0;
+  for (const auto& sim : sims_) firedAfter += sim->firedCount();
+  return firedAfter - firedBefore;
+}
+
+std::size_t ShardedSim::pendingCount() const {
+  std::size_t pending = 0;
+  for (const auto& sim : sims_) pending += sim->pendingCount();
+  return pending;
+}
+
+}  // namespace microedge

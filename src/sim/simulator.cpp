@@ -56,7 +56,7 @@ void Simulator::cancel(EventId id) {
 // The far heap holds events that were distant when scheduled, but time
 // advances: once everything nearer has fired, the far root IS the next
 // event and fires from its own heap — no migration step.
-std::vector<Simulator::HeapEntry>* Simulator::nextHeap() {
+const std::vector<Simulator::HeapEntry>* Simulator::nextHeap() const {
   if (far_.empty()) return heap_.empty() ? nullptr : &heap_;
   if (heap_.empty()) return &far_;
   return before(far_[0], heap_[0]) ? &far_ : &heap_;
@@ -109,6 +109,18 @@ std::size_t Simulator::runUntil(SimTime deadline) {
     ++n;
   }
   if (deadline > now_) now_ = deadline;
+  return n;
+}
+
+std::size_t Simulator::runBefore(SimTime bound, SimTime advanceTo) {
+  assert(advanceTo <= bound && advanceTo >= now_);
+  std::size_t n = 0;
+  for (const std::vector<HeapEntry>* h = nextHeap();
+       h != nullptr && (*h)[0].when < bound; h = nextHeap()) {
+    fireNext();
+    ++n;
+  }
+  if (advanceTo > now_) now_ = advanceTo;
   return n;
 }
 

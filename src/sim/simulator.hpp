@@ -92,11 +92,31 @@ class Simulator {
   // Fires exactly the next event (if any). Returns false when queue is empty.
   bool step();
 
+  // Timestamp of the earliest pending event, SimTime::max() when idle. The
+  // sharded window loop uses this to compute the next conservative bound.
+  SimTime nextEventTime() const {
+    const std::vector<HeapEntry>* h = nextHeap();
+    return h != nullptr ? (*h)[0].when : SimTime::max();
+  }
+  // Window execution for the sharded simulation: fires every event with
+  // timestamp strictly < `bound`, then advances now() to `advanceTo`
+  // (callers pass advanceTo <= bound; events at exactly `bound` stay
+  // pending so a cross-shard delivery stamped `bound` can still be
+  // scheduled before them in the next window). Returns events fired.
+  std::size_t runBefore(SimTime bound, SimTime advanceTo);
+
   bool empty() const { return pendingCount() == 0; }
   std::size_t pendingCount() const {
     return heap_.size() + far_.size() + (rearmPending_ ? 1 : 0);
   }
   std::size_t firedCount() const { return fired_; }
+
+  // Two-tier split introspection (tests assert which tier an event landed
+  // in around the kFarThreshold boundary; see sim_heap_boundary_test).
+  std::size_t nearCount() const { return heap_.size(); }
+  std::size_t farCount() const { return far_.size(); }
+  // Events scheduled at least this far past now() go to the far heap.
+  static constexpr SimDuration farThreshold() { return kFarThreshold; }
 
   // Validates the heap ordering, the slot<->heap back-pointers and the free
   // list. O(n); intended for tests (sim_stress_test) and debugging.
@@ -162,9 +182,12 @@ class Simulator {
                     std::uint32_t pos);
   void popRoot(std::vector<HeapEntry>& h, std::uint32_t tag);
   // The heap holding the globally next event (nullptr when both are empty).
-  std::vector<HeapEntry>* nextHeap();
-  const std::vector<HeapEntry>* nextHeap() const {
-    return const_cast<Simulator*>(this)->nextHeap();
+  // The const overload is the real implementation (it only inspects the two
+  // roots); the mutable one exists so fireNext() can pop from the result.
+  const std::vector<HeapEntry>* nextHeap() const;
+  std::vector<HeapEntry>* nextHeap() {
+    return const_cast<std::vector<HeapEntry>*>(
+        static_cast<const Simulator*>(this)->nextHeap());
   }
 
   SimTime now_ = kSimEpoch;

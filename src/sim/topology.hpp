@@ -1,0 +1,65 @@
+#pragma once
+
+// Shard-mapping layer for the sharded simulation (sim/sharded_sim.hpp).
+//
+// Maps every cluster node to the shard that owns its event loop. The map is
+// keyed by dense interned NodeId so the per-frame routing decision ("is this
+// hop cross-shard?") is one vector index — no string probe.
+//
+// Mapping rules:
+//  * The unit of partitioning is the RACK, never the node: a rack's tRPis
+//    (TPU hosts) and vRPis (camera hosts) always land on the same shard, so
+//    rack-local traffic — the common case the paper's deployment optimizes
+//    for — never crosses a shard boundary and keeps the solo code path.
+//  * Racks distribute round-robin: shardOfRack(r) = r % shards. Any
+//    rack-count / shard-count combination is legal; shards without racks
+//    simply idle at the window barrier.
+//  * Nodes without a rack-structured name ("r<k>-..."), e.g. the flat
+//    trpi-/vrpi- reference cluster, map to shard 0.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/intern.hpp"
+
+namespace microedge {
+
+class ShardMap {
+ public:
+  explicit ShardMap(unsigned shards = 1) : shards_(shards < 1 ? 1 : shards) {}
+
+  unsigned shards() const { return shards_; }
+
+  // Records `node`'s owner. Handles are dense, so the backing vector grows
+  // to the interner's high-water mark and lookups stay O(1).
+  void assign(NodeId node, unsigned shard);
+  // Interns `name`, derives the shard from its rack (see header rules),
+  // records and returns it.
+  unsigned assignByName(std::string_view name);
+
+  // Owner shard of `node`; unmapped nodes belong to shard 0. Hot path: one
+  // bounds check plus a vector index.
+  unsigned shardOf(NodeId node) const {
+    return node.valid() && node.value < shardOfNode_.size()
+               ? shardOfNode_[node.value]
+               : 0;
+  }
+
+  unsigned shardOfRack(int rack) const {
+    return rack < 0 ? 0 : static_cast<unsigned>(rack) % shards_;
+  }
+
+  // Rack index from a rack-structured node name "r<k>-<rest>"; -1 for flat
+  // names (which map to shard 0).
+  static int rackOfName(std::string_view name);
+
+  std::size_t mappedCount() const { return mapped_; }
+
+ private:
+  unsigned shards_;
+  std::vector<std::uint32_t> shardOfNode_;
+  std::size_t mapped_ = 0;
+};
+
+}  // namespace microedge

@@ -1,0 +1,403 @@
+#include "testbed/sharded_cluster.hpp"
+
+#include <cassert>
+
+#include "core/extended_scheduler.hpp"
+#include "models/zoo.hpp"
+#include "sim/topology.hpp"
+#include "util/backoff.hpp"
+#include "util/strings.hpp"
+
+namespace microedge {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnvFold(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+std::uint64_t fnvFoldString(std::uint64_t h, const std::string& s) {
+  for (char c : s) h = fnvFold(h, static_cast<unsigned char>(c));
+  return fnvFold(h, s.size());
+}
+
+}  // namespace
+
+// One camera stream: a PeriodicTask on the vRPi's shard submitting frames
+// through the pod's TpuClient. `client` is declared before `task` so the
+// task (which captures the stream) dies first at teardown.
+struct ShardedCluster::Stream {
+  std::string camera;     // vRPi node name
+  int targetRack = 0;
+  bool crossRack = false;
+  unsigned shard = 0;
+  std::uint64_t uid = 0;
+  bool evicted = false;
+  std::uint64_t digest = kFnvOffset;
+  std::unique_ptr<TpuClient> client;
+  std::unique_ptr<PeriodicTask> task;
+
+  void fold(const FrameBreakdown& b) {
+    std::uint64_t h = digest;
+    h = fnvFold(h, b.frameId);
+    h = fnvFold(h, static_cast<std::uint64_t>(b.outcome));
+    h = fnvFold(h, b.failovers);
+    // The serving TPU by *name*, not dense handle, so the witness is
+    // independent of intern order.
+    h = fnvFoldString(h, b.servedByName());
+    h = fnvFold(h, static_cast<std::uint64_t>(
+                       b.submitted.time_since_epoch().count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(
+                       b.completed.time_since_epoch().count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(b.preprocess.count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(b.requestTransmit.count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(b.queueDelay.count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(b.inference.count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(b.responseTransmit.count()));
+    h = fnvFold(h, static_cast<std::uint64_t>(b.postprocess.count()));
+    digest = h;
+  }
+};
+
+// One rack's control plane, living on the rack's owner shard: its own TPU
+// pool (only this rack's TPUs), admission, reclamation and failure
+// recovery. Control actions affecting clients on other shards are posted
+// one lookahead later (the modelled control-push latency).
+struct ShardedCluster::RackControl {
+  int rack = 0;
+  unsigned shard = 0;
+  TpuPool pool;
+  std::unique_ptr<AdmissionController> admission;
+  std::unique_ptr<Reclamation> reclamation;
+  std::unique_ptr<FailureRecovery> recovery;
+};
+
+ShardedCluster::ShardedCluster(ShardedClusterConfig config)
+    : config_(std::move(config)), zoo_(zoo::standardZoo()) {
+  if (config_.shards < 1) config_.shards = 1;
+  if (config_.racks < 1) config_.racks = 1;
+  const int racks = config_.racks;
+
+  sharded_ = std::make_unique<ShardedSim>(config_.shards,
+                                          config_.networkConfig.baseLatency);
+  ShardMap& map = sharded_->shardMap();
+
+  TopologySpec spec;
+  spec.racks = racks;
+  spec.tRpiCount = racks * config_.tRpisPerRack;
+  spec.vRpiCount = racks * config_.vRpisPerRack;
+  spec.tpusPerTRpi = config_.tpusPerTRpi;
+  spec.tpuConfig = config_.tpuConfig;
+  spec.networkConfig = config_.networkConfig;
+  topology_ = std::make_unique<ClusterTopology>(
+      [this](const std::string& name) -> Simulator& {
+        return sharded_->shardSim(shardOfName(name));
+      },
+      zoo_, spec);
+  for (const auto& node : topology_->nodes()) map.assignByName(node->name());
+
+  dataPlane_ = std::make_unique<DataPlane>(*sharded_, *topology_, zoo_);
+
+  // --- Per-rack control planes ---------------------------------------------
+  racks_.reserve(static_cast<std::size_t>(racks));
+  for (int r = 0; r < racks; ++r) {
+    auto rc = std::make_unique<RackControl>();
+    rc->rack = r;
+    rc->shard = map.shardOfRack(r);
+    AdmissionConfig admission;
+    admission.strategy = config_.strategy;
+    rc->admission =
+        std::make_unique<AdmissionController>(rc->pool, zoo_, admission);
+    rc->reclamation = std::make_unique<Reclamation>(*rc->admission);
+    FailureRecovery::Callbacks callbacks;
+    callbacks.loadModel = [this](const LoadCommand& command) {
+      Status s = dataPlane_->executeLoad(command);
+      if (s.isOk() || dataPlane_->service(command.tpuId) == nullptr) return s;
+      dataPlane_->executeLoadWithRetry(command, ExpBackoff{}, {});
+      return Status::ok();
+    };
+    callbacks.reconfigureLb = [this](std::uint64_t uid, const LbConfig& lb) {
+      pushLbConfig(uid, lb);
+    };
+    callbacks.evictPod = [this](std::uint64_t uid, const Status&) {
+      evictStream(uid);
+    };
+    rc->recovery = std::make_unique<FailureRecovery>(
+        *rc->admission, *rc->reclamation, std::move(callbacks));
+    racks_.push_back(std::move(rc));
+  }
+  for (const auto& tpu : topology_->tpus()) {
+    int rack = ShardMap::rackOfName(tpu->id());
+    if (rack < 0) rack = 0;
+    Status added =
+        racks_[rack]->pool.addTpu(tpu->id(), tpu->config().paramMemoryMb);
+    assert(added.isOk());
+    (void)added;
+  }
+
+  // --- Camera streams -------------------------------------------------------
+  auto infoOr = zoo_.find(config_.model);
+  if (!infoOr.isOk()) {
+    setupStatus_ = infoOr.status();
+    return;
+  }
+  const double units = config_.tpuUnits > 0.0
+                           ? config_.tpuUnits
+                           : zoo_.at(config_.model).tpuUnitsAt(config_.fps);
+  const SimDuration period = secondsF(1.0 / config_.fps);
+  std::vector<RpiNode*> cameras = topology_->vRpis();
+  const int total = static_cast<int>(cameras.size());
+  streams_.reserve(cameras.size());
+  for (int i = 0; i < total; ++i) {
+    RpiNode* camera = cameras[static_cast<std::size_t>(i)];
+    int rack = ShardMap::rackOfName(camera->name());
+    if (rack < 0) rack = 0;
+    const bool cross = racks > 1 && config_.crossRackStride > 0 &&
+                       i % config_.crossRackStride == 0;
+    const int targetRack = cross ? (rack + 1) % racks : rack;
+    const std::uint64_t uid = static_cast<std::uint64_t>(i) + 1;
+
+    RackControl& rc = *racks_[static_cast<std::size_t>(targetRack)];
+    auto admitted =
+        rc.admission->admit(uid, config_.model, TpuUnit::fromDouble(units));
+    if (!admitted.isOk()) {
+      setupStatus_ = admitted.status();
+      return;
+    }
+    for (const LoadCommand& load : admitted->loads) {
+      Status s = dataPlane_->executeLoad(load);
+      if (!s.isOk()) {
+        setupStatus_ = s;
+        return;
+      }
+    }
+    const LbConfig lb =
+        ExtendedScheduler::lbConfigFromAllocation(admitted->allocation);
+    rc.reclamation->track(uid, std::move(admitted)->allocation);
+
+    auto stream = std::make_unique<Stream>();
+    stream->camera = camera->name();
+    stream->targetRack = targetRack;
+    stream->crossRack = cross;
+    stream->shard = shardOfName(camera->name());
+    stream->uid = uid;
+
+    TpuClient::Config clientConfig;
+    clientConfig.clientNode = camera->name();
+    clientConfig.model = config_.model;
+    clientConfig.spread = config_.spread;
+    // Cross-rack streams run deadline-free: the deadline/shed/NACK paths are
+    // the one place sharded timing legitimately differs from solo (see
+    // header), so the differential witness keeps them rack-local only.
+    clientConfig.frameDeadline =
+        cross ? SimDuration::zero() : config_.frameDeadline;
+    clientConfig.maxFailovers = config_.maxFailovers;
+    clientConfig.health = config_.lbHealth;
+    stream->client = dataPlane_->makeClient(std::move(clientConfig));
+    Status configured = stream->client->configureLb(lb);
+    if (!configured.isOk()) {
+      setupStatus_ = configured;
+      return;
+    }
+
+    Stream* raw = stream.get();
+    Simulator& sim = sharded_->shardSim(stream->shard);
+    stream->task = std::make_unique<PeriodicTask>(sim, period, [raw] {
+      (void)raw->client->invoke(
+          [raw](const FrameBreakdown& b) { raw->fold(b); });
+    });
+    // Stagger camera phases so no two frames in the cluster ever share a
+    // timestamp: the global event order — and with it every breakdown — is
+    // then independent of how shards interleave.
+    const SimDuration phase = (period * (i + 1)) / (total + 1);
+    stream->task->startAt(sim.now() + phase);
+    streams_.push_back(std::move(stream));
+  }
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+void ShardedCluster::stopStreams() {
+  assert(!sharded_->running());
+  for (const auto& stream : streams_) {
+    stream->task->stop();
+    stream->client->stop();
+  }
+}
+
+unsigned ShardedCluster::shardOfName(const std::string& nodeName) const {
+  return sharded_->shardMap().shardOfRack(ShardMap::rackOfName(nodeName));
+}
+
+ShardedCluster::Stream* ShardedCluster::streamByUid(std::uint64_t uid) {
+  const std::size_t index = static_cast<std::size_t>(uid) - 1;
+  return uid >= 1 && index < streams_.size() ? streams_[index].get() : nullptr;
+}
+
+void ShardedCluster::pushLbConfig(std::uint64_t uid, const LbConfig& lb) {
+  Stream* stream = streamByUid(uid);
+  if (stream == nullptr) return;
+  // The push crosses from the rack's control shard to the client's shard
+  // one lookahead later — ALWAYS delayed, even when both live on the same
+  // shard, so every shard count observes the identical push time.
+  const SimTime at = sharded_->currentSim().now() + sharded_->lookahead();
+  sharded_->postToShard(stream->shard, at, [client = stream->client.get(), lb] {
+    (void)client->configureLb(lb);
+  });
+}
+
+void ShardedCluster::evictStream(std::uint64_t uid) {
+  Stream* stream = streamByUid(uid);
+  if (stream == nullptr || stream->evicted) return;
+  stream->evicted = true;
+  const SimTime at = sharded_->currentSim().now() + sharded_->lookahead();
+  sharded_->postToShard(stream->shard, at, [stream] {
+    stream->task->stop();
+    stream->client->stop();
+  });
+}
+
+void ShardedCluster::armTpuFailure(const std::string& tpuId, SimTime at,
+                                   SimDuration detectionDelay) {
+  int rack = ShardMap::rackOfName(tpuId);
+  if (rack < 0) rack = 0;
+  RackControl* rc = racks_[static_cast<std::size_t>(rack)].get();
+  // Data-plane edge at t, on the TPU's owner shard: the service vanishes,
+  // local clients fail over instantly, other shards notice +lookahead.
+  sharded_->postToShard(rc->shard, at,
+                        [this, tpuId] { dataPlane_->removeService(tpuId); });
+  // Control-plane edge at t + detectionDelay, same shard (the rack's
+  // control plane is rack-local): pool removal + replan/evict.
+  sharded_->postToShard(rc->shard, at + detectionDelay, [rc, tpuId] {
+    Status removed = rc->pool.removeTpu(tpuId);
+    if (!removed.isOk()) return;  // already failed by an earlier event
+    (void)rc->recovery->onTpuFailure(tpuId);
+  });
+}
+
+void ShardedCluster::armFaults(const FaultPlan& plan) {
+  assert(!faultsArmed_ && "one fault plan per harness instance");
+  faultsArmed_ = true;
+  const SimTime base = sharded_->now();
+  for (const FaultEvent& event : plan.events) {
+    const SimTime at = base + event.at;
+    switch (event.kind) {
+      case FaultKind::kTpuCrash:
+        armTpuFailure(event.target, at, plan.detectionDelay);
+        break;
+      case FaultKind::kNodeDeath:
+        // The tRPi dies: every hosted TPU goes through the crash path.
+        for (const auto& tpu : topology_->tpus()) {
+          if (topology_->nodeOfTpu(tpu->id()) == event.target) {
+            armTpuFailure(tpu->id(), at, plan.detectionDelay);
+          }
+        }
+        break;
+      case FaultKind::kTpuHang: {
+        const unsigned shard = shardOfName(topology_->nodeOfTpu(event.target));
+        sharded_->postToShard(shard, at, [this, id = event.target] {
+          TpuService* service = dataPlane_->service(id);
+          if (service != nullptr) service->setHung(true);
+        });
+        sharded_->postToShard(
+            shard, at + event.duration, [this, id = event.target] {
+              TpuService* service = dataPlane_->service(id);
+              if (service != nullptr) service->setHung(false);
+            });
+        break;
+      }
+      case FaultKind::kTransportLoss:
+      case FaultKind::kLatencySpike: {
+        const double loss =
+            event.kind == FaultKind::kTransportLoss ? event.magnitude : 0.0;
+        const double multiplier =
+            event.kind == FaultKind::kLatencySpike ? event.magnitude : 1.0;
+        // One window per transport lane, applied by each lane's own shard
+        // (lanes are shard-local state). setFaultOnLane seeds lane s with
+        // seed + s, so the drop pattern a shard's traffic sees depends only
+        // on its own draw sequence — identical at every shard count for
+        // shard-local traffic.
+        for (unsigned s = 0; s < sharded_->shardCount(); ++s) {
+          sharded_->postToShard(
+              s, at, [this, s, loss, multiplier, seed = plan.seed] {
+                dataPlane_->transport().setFaultOnLane(s, loss, multiplier,
+                                                       seed);
+              });
+          sharded_->postToShard(s, at + event.duration, [this, s] {
+            dataPlane_->transport().clearFaultOnLane(s);
+          });
+        }
+        break;
+      }
+    }
+  }
+}
+
+ShardedCluster::StreamStats ShardedCluster::streamStats(
+    std::size_t index) const {
+  const Stream& stream = *streams_[index];
+  StreamStats stats;
+  stats.camera = stream.camera;
+  stats.crossRack = stream.crossRack;
+  stats.submitted = stream.client->submittedCount();
+  stats.completed = stream.client->completedCount();
+  stats.failovers = stream.client->failoverCount();
+  for (std::size_t o = 0; o < kFrameOutcomeCount; ++o) {
+    stats.outcomes[o] =
+        stream.client->outcomeCount(static_cast<FrameOutcome>(o));
+  }
+  stats.digest = stream.digest;
+  return stats;
+}
+
+std::uint64_t ShardedCluster::totalSubmitted() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) n += s->client->submittedCount();
+  return n;
+}
+
+std::uint64_t ShardedCluster::totalCompleted() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) n += s->client->completedCount();
+  return n;
+}
+
+std::uint64_t ShardedCluster::outcomeTotal(FrameOutcome outcome) const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) n += s->client->outcomeCount(outcome);
+  return n;
+}
+
+std::uint64_t ShardedCluster::digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    h = fnvFold(h, i);
+    h = fnvFold(h, streams_[i]->digest);
+  }
+  return h;
+}
+
+std::string ShardedCluster::metricsJson() const {
+  std::string out = strCat("{\n  \"streams\": [");
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const StreamStats stats = streamStats(i);
+    out += strCat(i == 0 ? "\n" : ",\n", "    {\"camera\": \"", stats.camera,
+                  "\", \"crossRack\": ", stats.crossRack ? "true" : "false",
+                  ", \"submitted\": ", stats.submitted,
+                  ", \"completed\": ", stats.completed,
+                  ", \"failovers\": ", stats.failovers, ", \"outcomes\": [");
+    for (std::size_t o = 0; o < kFrameOutcomeCount; ++o) {
+      out += strCat(o == 0 ? "" : ", ", stats.outcomes[o]);
+    }
+    out += strCat("], \"digest\": ", stats.digest, "}");
+  }
+  out += strCat("\n  ],\n  \"totalSubmitted\": ", totalSubmitted(),
+                ",\n  \"totalCompleted\": ", totalCompleted(),
+                ",\n  \"digest\": ", digest(), "\n}\n");
+  return out;
+}
+
+}  // namespace microedge

@@ -1,0 +1,154 @@
+#pragma once
+
+// City-scale experiment harness over the sharded simulation
+// (sim/sharded_sim.hpp).
+//
+// Where Testbed assembles the full single-Simulator MicroEdge stack, this
+// harness assembles a rack-structured cluster across a ShardedSim: every
+// rack's nodes, TPU Services, cameras AND control plane (TpuPool +
+// AdmissionController + Reclamation + FailureRecovery) live on the rack's
+// owner shard, so steady-state traffic is shard-local and only genuinely
+// cross-rack interactions — cross-rack streams, failure-detection
+// broadcasts, weight pushes — ride the conservative-lookahead mailboxes.
+//
+// Workload: one camera stream per vRPi, each a PeriodicTask on the vRPi's
+// shard with staggered phases (camera i of N starts at (i+1) * period /
+// (N+1)) so no two frames share a timestamp and the event order — hence
+// every breakdown — is identical at every shard count. Streams target
+// their own rack's TPUs by default; with `crossRackStride` = k, every k-th
+// camera instead targets the NEXT rack's TPUs (a deliberately cross-shard
+// pipeline) and runs without a deadline, keeping the deadline/shed/NACK
+// machinery — whose cross-shard timing legitimately differs from solo —
+// off the differential path.
+//
+// Chaos: a FaultPlan is pre-armed at setup onto each event's owner shard
+// (TPU crash -> removeService at t + pool/recovery at t+detectionDelay on
+// the TPU's shard; hang -> setHung window; transport faults -> one
+// per-shard lane window, seeded seed+shard). Weight pushes and evictions
+// from recovery are posted to the affected client's shard one lookahead
+// later — the modelled control-plane push latency — so they are
+// deterministic and identical at every shard count.
+//
+// Determinism witness: each stream folds every completed frame's breakdown
+// into a running FNV-1a digest on its own shard; metricsJson() serializes
+// per-stream digests and outcome counters in stream order. Two runs of the
+// same config agree byte for byte regardless of shard count (the CI smoke
+// literally `cmp`s shards=1 vs shards=4 output).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "core/admission.hpp"
+#include "core/failure_recovery.hpp"
+#include "core/reclamation.hpp"
+#include "dataplane/dataplane.hpp"
+#include "models/registry.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/sharded_sim.hpp"
+#include "util/status.hpp"
+
+namespace microedge {
+
+struct ShardedClusterConfig {
+  unsigned shards = 1;
+  int racks = 2;
+  int tRpisPerRack = 2;
+  int vRpisPerRack = 4;
+  int tpusPerTRpi = 1;
+  std::string model = "mobilenet-v1";
+  double fps = 15.0;
+  // 0 => profile from the model's zoo service time at `fps`.
+  double tpuUnits = 0.0;
+  // Deadline for rack-local streams; zero disables (cross-rack streams are
+  // always deadline-free — see header).
+  SimDuration frameDeadline{};
+  std::uint32_t maxFailovers = 1;
+  LbHealthConfig lbHealth{};
+  // Every `crossRackStride`-th camera targets the next rack's TPUs
+  // (cross-shard when racks land on different shards); 0 = all rack-local.
+  int crossRackStride = 0;
+  PackingStrategy strategy = PackingStrategy::kFirstFit;
+  LbSpread spread = LbSpread::kSmooth;
+  TpuHardwareConfig tpuConfig{};
+  NetworkConfig networkConfig{};
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterConfig config = {});
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  // Setup status: admission or load failures at construction land here
+  // instead of throwing (tests assert ok()).
+  const Status& setupStatus() const { return setupStatus_; }
+
+  // Pre-arms a replayable fault plan (call before run; one plan per
+  // instance). Events are scheduled onto their owner shards.
+  void armFaults(const FaultPlan& plan);
+
+  void run(SimDuration horizon) { sharded_->runFor(horizon); }
+  // Stops every camera (call between run()s, never inside one); a
+  // subsequent run() then drains in-flight frames to terminal outcomes.
+  void stopStreams();
+
+  // --- Wiring access --------------------------------------------------------
+  ShardedSim& shardedSim() { return *sharded_; }
+  ClusterTopology& topology() { return *topology_; }
+  DataPlane& dataPlane() { return *dataPlane_; }
+  const ModelRegistry& zoo() const { return zoo_; }
+  std::size_t streamCount() const { return streams_.size(); }
+
+  // --- Results --------------------------------------------------------------
+  struct StreamStats {
+    std::string camera;
+    bool crossRack = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failovers = 0;
+    std::array<std::uint64_t, kFrameOutcomeCount> outcomes{};
+    std::uint64_t digest = 0;  // FNV-1a over completed breakdowns, in order
+  };
+  StreamStats streamStats(std::size_t index) const;
+  std::uint64_t totalSubmitted() const;
+  std::uint64_t totalCompleted() const;
+  std::uint64_t outcomeTotal(FrameOutcome outcome) const;
+  // Order-fixed fold of every stream's digest: the one number two runs (at
+  // any shard count) must agree on.
+  std::uint64_t digest() const;
+  // Deterministic serialization of the full result surface (per-stream and
+  // totals) — what the CI determinism smoke byte-compares.
+  std::string metricsJson() const;
+
+ private:
+  struct Stream;
+  struct RackControl;
+
+  unsigned shardOfName(const std::string& nodeName) const;
+  Stream* streamByUid(std::uint64_t uid);
+  // Control-plane pushes toward a pod's client (weights / eviction) land on
+  // the client's shard one lookahead later — at EVERY shard count, so solo
+  // and sharded runs observe the identical push time.
+  void pushLbConfig(std::uint64_t uid, const LbConfig& lb);
+  void evictStream(std::uint64_t uid);
+  void armTpuFailure(const std::string& tpuId, SimTime at,
+                     SimDuration detectionDelay);
+
+  ShardedClusterConfig config_;
+  ModelRegistry zoo_;
+  std::unique_ptr<ShardedSim> sharded_;
+  std::unique_ptr<ClusterTopology> topology_;
+  std::unique_ptr<DataPlane> dataPlane_;
+  std::vector<std::unique_ptr<RackControl>> racks_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  Status setupStatus_ = Status::ok();
+  bool faultsArmed_ = false;
+};
+
+}  // namespace microedge

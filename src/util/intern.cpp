@@ -56,6 +56,13 @@ InternScope::InternScope() : prev_(tlsInternDomain) {
 
 InternScope::~InternScope() { tlsInternDomain = prev_; }
 
+InternDomainAdopt::InternDomainAdopt(InternDomain& domain)
+    : prev_(tlsInternDomain) {
+  tlsInternDomain = &domain;
+}
+
+InternDomainAdopt::~InternDomainAdopt() { tlsInternDomain = prev_; }
+
 Interner& modelInterner() { return currentInternDomain().model; }
 
 Interner& tpuInterner() { return currentInternDomain().tpu; }

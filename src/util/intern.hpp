@@ -133,6 +133,23 @@ class InternScope {
   InternDomain* prev_;
 };
 
+// RAII: makes the calling thread resolve ids against a domain owned
+// elsewhere, restoring the previous binding on destruction. The sharded
+// simulator's worker threads adopt the harness thread's domain so the dense
+// handles minted at setup stay valid on every shard (the Interner itself is
+// mutex-guarded, and handle *assignment* only happens on the single-threaded
+// setup path, so adoption adds no ordering hazard).
+class InternDomainAdopt {
+ public:
+  explicit InternDomainAdopt(InternDomain& domain);
+  ~InternDomainAdopt();
+  InternDomainAdopt(const InternDomainAdopt&) = delete;
+  InternDomainAdopt& operator=(const InternDomainAdopt&) = delete;
+
+ private:
+  InternDomain* prev_;
+};
+
 // Symbol tables of the current thread's domain, one per id kind.
 Interner& modelInterner();
 Interner& tpuInterner();

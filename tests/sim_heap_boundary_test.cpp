@@ -1,0 +1,167 @@
+// Two-tier event-heap boundary semantics (satellite of the sharded-sim PR).
+//
+// The Simulator splits its pending set at kFarThreshold (64 ms): events
+// scheduled >= that far from now land on the far heap, everything nearer on
+// the near heap, and fireNext() picks the globally-minimal root of the two
+// — there is no migration step, so an event "moves" between tiers only by
+// firing or by being re-armed. These tests nail the boundary down: exact-
+// threshold placement, firing order and (when, seq) tie order across the
+// two heaps, and in-place cancel of far entries (including the far root
+// while it is the globally next event).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace microedge {
+namespace {
+
+TEST(SimHeapBoundary, ExactThresholdLandsFar) {
+  Simulator sim;
+  // One nanosecond under the threshold: near heap.
+  sim.schedule(sim.now() + Simulator::farThreshold() - nanoseconds(1), [] {});
+  EXPECT_EQ(sim.nearCount(), 1u);
+  EXPECT_EQ(sim.farCount(), 0u);
+  // Exactly the threshold: the >= comparison sends it far.
+  sim.schedule(sim.now() + Simulator::farThreshold(), [] {});
+  EXPECT_EQ(sim.nearCount(), 1u);
+  EXPECT_EQ(sim.farCount(), 1u);
+  sim.schedule(sim.now() + Simulator::farThreshold() + nanoseconds(1), [] {});
+  EXPECT_EQ(sim.farCount(), 2u);
+}
+
+TEST(SimHeapBoundary, FiringOrderSpansBothHeaps) {
+  Simulator sim;
+  const SimTime start = sim.now();
+  std::vector<int> order;
+  // Interleave near and far events; they must fire in timestamp order no
+  // matter which heap holds them.
+  sim.schedule(start + Simulator::farThreshold() + milliseconds(1),
+               [&order] { order.push_back(3); });
+  sim.schedule(start + milliseconds(1), [&order] { order.push_back(0); });
+  sim.schedule(start + Simulator::farThreshold(),
+               [&order] { order.push_back(2); });
+  sim.schedule(start + Simulator::farThreshold() - nanoseconds(1),
+               [&order] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), start + Simulator::farThreshold() + milliseconds(1));
+}
+
+TEST(SimHeapBoundary, EqualTimestampTieBreaksBySeqAcrossHeaps) {
+  Simulator sim;
+  const SimTime start = sim.now();
+  const SimTime when = start + milliseconds(70);
+  std::vector<int> order;
+  // e1 is scheduled 70 ms out -> far heap.
+  sim.schedule(when, [&order] { order.push_back(1); });
+  ASSERT_EQ(sim.farCount(), 1u);
+  // Advance now by 10 ms, then schedule e2 for the SAME timestamp: it is
+  // only 60 ms out now -> near heap. Same (when), different heaps.
+  sim.schedule(start + milliseconds(10), [&] {
+    sim.schedule(when, [&order] { order.push_back(2); });
+    EXPECT_EQ(sim.nearCount(), 1u);
+    EXPECT_EQ(sim.farCount(), 1u);
+  });
+  sim.run();
+  // Global (when, seq) order: e1 was scheduled first and must fire first
+  // even though it sits on the far heap.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimHeapBoundary, NextEventTimeSeesFarRoot) {
+  Simulator sim;
+  const SimTime start = sim.now();
+  sim.schedule(start + milliseconds(100), [] {});
+  EXPECT_EQ(sim.nearCount(), 0u);
+  EXPECT_EQ(sim.farCount(), 1u);
+  EXPECT_EQ(sim.nextEventTime(), start + milliseconds(100));
+}
+
+TEST(SimHeapBoundary, CancelFarRootInPlace) {
+  Simulator sim;
+  const SimTime start = sim.now();
+  std::vector<int> order;
+  EventId root =
+      sim.schedule(start + milliseconds(100), [&order] { order.push_back(0); });
+  sim.schedule(start + milliseconds(120), [&order] { order.push_back(1); });
+  sim.schedule(start + milliseconds(140), [&order] { order.push_back(2); });
+  ASSERT_EQ(sim.farCount(), 3u);
+  // In-place removal of the far ROOT: no tombstone, the count drops now.
+  sim.cancel(root);
+  EXPECT_EQ(sim.farCount(), 2u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Cancelling the already-fired / already-cancelled ids is a no-op.
+  sim.cancel(root);
+  EXPECT_EQ(sim.farCount(), 0u);
+}
+
+TEST(SimHeapBoundary, CancelFarEventWhileItIsGloballyNext) {
+  Simulator sim;
+  const SimTime start = sim.now();
+  bool farFired = false;
+  EventId far = sim.schedule(start + milliseconds(100),
+                             [&farFired] { farFired = true; });
+  // By the time this near event runs, the near heap is empty and the far
+  // entry is the globally next event; the cancel must still find it via its
+  // far-tagged position.
+  sim.schedule(start + milliseconds(50), [&] {
+    EXPECT_EQ(sim.farCount(), 1u);
+    sim.cancel(far);
+    EXPECT_EQ(sim.farCount(), 0u);
+  });
+  sim.runUntil(start + milliseconds(200));
+  EXPECT_FALSE(farFired);
+  EXPECT_EQ(sim.now(), start + milliseconds(200));
+}
+
+TEST(SimHeapBoundary, PeriodicRearmLandsPerBoundary) {
+  Simulator sim;
+  // Period over the threshold: every re-arm is a far event.
+  int farTicks = 0;
+  PeriodicTask farTask(sim, milliseconds(100), [&] {
+    ++farTicks;
+    EXPECT_EQ(sim.farCount(), 0u);  // our own slot is mid-rearm
+  });
+  farTask.start();
+  EXPECT_EQ(sim.farCount(), 1u);
+  EXPECT_EQ(sim.nearCount(), 0u);
+  sim.runFor(milliseconds(350));
+  EXPECT_EQ(farTicks, 3);
+  EXPECT_EQ(sim.farCount(), 1u);  // re-armed 100 ms out again
+  farTask.stop();
+  EXPECT_EQ(sim.farCount(), 0u);
+
+  // Period under the threshold: the re-arm stays near.
+  int nearTicks = 0;
+  PeriodicTask nearTask(sim, milliseconds(10), [&] { ++nearTicks; });
+  nearTask.start();
+  EXPECT_EQ(sim.nearCount(), 1u);
+  EXPECT_EQ(sim.farCount(), 0u);
+  sim.runFor(milliseconds(35));
+  EXPECT_EQ(nearTicks, 3);
+  EXPECT_EQ(sim.nearCount(), 1u);
+  nearTask.stop();
+}
+
+TEST(SimHeapBoundary, RunBeforeRespectsBoundAcrossHeaps) {
+  Simulator sim;
+  const SimTime start = sim.now();
+  std::vector<int> order;
+  sim.schedule(start + milliseconds(10), [&order] { order.push_back(0); });
+  sim.schedule(start + milliseconds(70), [&order] { order.push_back(1); });
+  // Strictly-before bound: the event AT the bound stays pending, and the
+  // clock parks at advanceTo.
+  sim.runBefore(start + milliseconds(70), start + milliseconds(65));
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(sim.now(), start + milliseconds(65));
+  EXPECT_EQ(sim.farCount() + sim.nearCount(), 1u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace microedge
