@@ -128,6 +128,8 @@ class DataPlane {
   std::vector<TpuClient*> clients_;
   std::vector<std::vector<TpuClient*>> clientsByShard_;
   std::vector<std::uint64_t> loadRetriesByShard_;
+  // Next auto-assigned TpuClient::Config::streamToken (see makeClient).
+  std::uint64_t nextStreamToken_ = 1;
 };
 
 }  // namespace microedge

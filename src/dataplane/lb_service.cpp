@@ -25,13 +25,33 @@ Status LbService::configure(const LbConfig& config) {
   maskEvents_ = 0;
   perTarget_.assign(lbConfig_.weights.size(), 0);
   targetState_.assign(lbConfig_.weights.size(), TargetState{});
+  pickBuffer_.clear();  // prefetched picks belong to the old schedule
+  pickCursor_ = 0;
   return Status::ok();
+}
+
+std::size_t LbService::rawPick() {
+  if (pickCursor_ < pickBuffer_.size()) return pickBuffer_[pickCursor_++];
+  return spread_ == LbSpread::kSmooth ? smooth_.pickIndex()
+                                      : burst_.pickIndex();
+}
+
+void LbService::beginBurst(std::size_t k) {
+  assert(configured_ && "LbService::beginBurst before configure");
+  if (spread_ != LbSpread::kSmooth || k == 0) return;
+  // Compact already-served picks instead of appending behind them so the
+  // buffer never grows past one burst's worth.
+  pickBuffer_.erase(pickBuffer_.begin(),
+                    pickBuffer_.begin() +
+                        static_cast<std::ptrdiff_t>(pickCursor_));
+  pickCursor_ = 0;
+  if (pickBuffer_.size() >= k) return;
+  smooth_.pickBatch(k - pickBuffer_.size(), pickBuffer_);
 }
 
 std::size_t LbService::routeIndex() {
   assert(configured_ && "LbService::route before configure");
-  std::size_t index =
-      spread_ == LbSpread::kSmooth ? smooth_.pickIndex() : burst_.pickIndex();
+  std::size_t index = rawPick();
   ++routed_;
   ++perTarget_[index];
   return index;
@@ -41,7 +61,13 @@ void LbService::routeBatch(std::size_t k, std::vector<std::uint32_t>& out) {
   assert(configured_ && "LbService::routeBatch before configure");
   if (spread_ == LbSpread::kSmooth) {
     const std::size_t first = out.size();
-    smooth_.pickBatch(k, out);
+    // Serve any beginBurst() prefetch first so the pick sequence stays
+    // identical however the caller mixes the routing entry points.
+    std::size_t fromBuffer = std::min(k, pickBuffer_.size() - pickCursor_);
+    for (std::size_t i = 0; i < fromBuffer; ++i) {
+      out.push_back(pickBuffer_[pickCursor_++]);
+    }
+    if (k > fromBuffer) smooth_.pickBatch(k - fromBuffer, out);
     routed_ += k;
     for (std::size_t i = first; i < out.size(); ++i) ++perTarget_[out[i]];
     return;
@@ -62,8 +88,7 @@ std::size_t LbService::routeHealthyIndex(SimTime now) {
   // the per-target counters the partitioning tests assert) is unchanged.
   const std::size_t n = lbConfig_.weights.size();
   for (std::size_t draw = 0; draw < n; ++draw) {
-    std::size_t index =
-        spread_ == LbSpread::kSmooth ? smooth_.pickIndex() : burst_.pickIndex();
+    std::size_t index = rawPick();
     TargetState& t = targetState_[index];
     if (t.state == TargetHealth::kMasked) {
       if (now < t.retryAt) continue;  // window still open: skip this target

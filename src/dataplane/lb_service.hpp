@@ -86,6 +86,18 @@ class LbService {
   // `out` and returns how many of the k frames were routed.
   std::size_t routeHealthyBatch(SimTime now, std::size_t k,
                                 std::vector<std::uint32_t>& out);
+  // Burst routing prologue: prefetches `k` RAW smooth-WRR picks in one
+  // cycle-cache walk. Subsequent routeIndex()/routeHealthyIndex() calls
+  // consume the prefetched picks transparently — the health filter is still
+  // applied at serve time, against whatever the health state is THEN — and
+  // fall back to live picks once the buffer drains. Because the raw pick
+  // sequence is feedback-independent (health affects only the filter, never
+  // the WRR credits), every downstream routing decision is bit-identical to
+  // the unprefetched sequence; the burst merely pays one amortized walk
+  // instead of k credit scans. Health feedback between the prefetch and the
+  // serve (breaker trips mid-burst) is therefore safe. kBurst spread: no-op
+  // (its pick is already O(1)). Unconsumed picks simply serve later routes.
+  void beginBurst(std::size_t k);
   // Routes the next request; returns the target TPU id.
   // Precondition: configured().
   const std::string& route() { return lbConfig_.weights[routeIndex()].tpuId; }
@@ -114,6 +126,8 @@ class LbService {
   };
 
   void trip(TargetState& target, SimTime now);
+  // Next raw WRR pick: the prefetch buffer when non-empty, else a live draw.
+  std::size_t rawPick();
 
   LbSpread spread_;
   SmoothWrr smooth_;
@@ -126,6 +140,9 @@ class LbService {
   // Aligned with lbConfig_.weights (the WRR preserves target order).
   std::vector<std::uint64_t> perTarget_;
   std::vector<TargetState> targetState_;
+  // beginBurst() prefetch of raw WRR picks; capacity retained across bursts.
+  std::vector<std::uint32_t> pickBuffer_;
+  std::size_t pickCursor_ = 0;
 };
 
 }  // namespace microedge

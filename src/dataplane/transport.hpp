@@ -50,6 +50,15 @@ class SimTransport {
   SimTransport(ShardRouter& router, const NetworkModel& network)
       : router_(&router), network_(network), lanes_(router.shardCount()) {}
 
+  // Stable per-message identity for fault decisions. A keyed message's drop
+  // draw under a loss window is a pure function of (fault seed, key) —
+  // independent of lane, shard count, and every other message — so loss
+  // outcomes replay identically at any shard count. Key 0 means "unkeyed":
+  // the message draws from the lane's sequential RNG (control-plane and
+  // test traffic that predates keying). Frame traffic derives its key from
+  // (stream token, frame id, attempt, hop) in TpuClient.
+  static constexpr std::uint64_t kUnkeyed = 0;
+
   // Delivers `onDelivered` after the transfer latency of `bytes` from
   // `fromNode` to `toNode` (plus `departAfter` of sender-side delay).
   // Returns the modelled transfer latency (for breakdowns). EventFn keeps
@@ -58,7 +67,8 @@ class SimTransport {
   // Simulator, so both endpoints must live on that shard.
   SimDuration send(NodeId fromNode, NodeId toNode, std::size_t bytes,
                    EventFn onDelivered,
-                   SimDuration departAfter = SimDuration::zero());
+                   SimDuration departAfter = SimDuration::zero(),
+                   std::uint64_t msgKey = kUnkeyed);
 
   // String wrapper: interns both endpoints, then takes the path above.
   SimDuration send(const std::string& fromNode, const std::string& toNode,
@@ -71,7 +81,25 @@ class SimTransport {
   // cross-shard path, where the delivery event must travel through the
   // router's mailbox rather than the local event loop.
   SimDuration sendRouted(NodeId fromNode, NodeId toNode, std::size_t bytes,
-                         bool* dropped);
+                         bool* dropped, std::uint64_t msgKey = kUnkeyed);
+
+  // Coalesced burst delivery: models and accounts each of the `count`
+  // messages individually — counters, keyed loss draws and the per-message
+  // latencies written to `latencyOut` are exactly what `count` send() calls
+  // would produce (all messages share endpoints and size, so all survivors
+  // share one latency; a dropped message's latency skips the fault
+  // multiplier, same as send()) — but schedules ONE delivery event for the
+  // whole group instead of one per message. The caller fans surviving
+  // messages out on arrival: `droppedOut[i]` is set per message, and the
+  // event is skipped entirely when the fault window ate the whole group
+  // (matching send(), whose delivery never fires for a dropped message).
+  // Same-shard only, like send(). Returns true iff the delivery event was
+  // scheduled.
+  bool sendCoalesced(NodeId fromNode, NodeId toNode, std::size_t bytesEach,
+                     const std::uint64_t* keys, std::size_t count,
+                     std::uint8_t* droppedOut, SimDuration* latencyOut,
+                     EventFn onDelivered,
+                     SimDuration departAfter = SimDuration::zero());
 
   const NetworkModel& network() const { return network_; }
 
@@ -111,16 +139,20 @@ class SimTransport {
     bool faultActive = false;
     double lossProbability = 0.0;
     double latencyMultiplier = 1.0;
-    Pcg32 faultRng{0};
+    Pcg32 faultRng{0};                // unkeyed draws: sequential, per-lane
+    std::uint64_t faultSeed = 0;      // keyed draws: base seed, lane-invariant
   };
 
   Lane& lane() {
     return lanes_[router_ != nullptr ? ShardRouter::currentShard() : 0];
   }
   // Accounts the message on `lane` and returns its fault-adjusted latency;
-  // sets *dropped when the fault window eats it.
+  // sets *dropped when the fault window eats it. Keyed messages (msgKey !=
+  // kUnkeyed) decide the drop from (lane.faultSeed, msgKey) without touching
+  // the lane RNG; unkeyed messages draw sequentially from it.
   SimDuration modelMessage(Lane& lane, NodeId fromNode, NodeId toNode,
-                           std::size_t bytes, bool* dropped);
+                           std::size_t bytes, bool* dropped,
+                           std::uint64_t msgKey);
 
   Simulator* sim_ = nullptr;       // solo mode
   ShardRouter* router_ = nullptr;  // sharded mode

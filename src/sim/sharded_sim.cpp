@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "sweep/thread_pool.hpp"
 
@@ -24,6 +25,7 @@ ShardedSim::ShardedSim(unsigned shards, SimDuration lookahead)
     sims_.push_back(std::make_unique<Simulator>());
   }
   mail_.resize(static_cast<std::size_t>(n) * n);
+  shardNext_.resize(n);
 }
 
 void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
@@ -42,6 +44,10 @@ void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
          "cross-shard delivery inside the lookahead window");
   Mailbox& box = mailbox(src, shard);
   assert(box.msgs.size() < kMailboxCapacity && "mailbox overflow");
+  // Relief escalation signal: the next sub-barrier sees a nonzero count and
+  // falls back to the full barrier for the drain. Ordering rides the
+  // arrival barrier's acq_rel chain, so relaxed suffices.
+  pendingCross_.fetch_add(1, std::memory_order_relaxed);
   MailMsg msg;
   msg.deliverAt = deliverAt;
   msg.sentAt = sims_[src]->now();
@@ -89,6 +95,9 @@ void ShardedSim::serialPhase(SimTime deadline) {
     sims_[d.dst]->schedule(d.msg.deliverAt, std::move(d.msg.fn));
   }
 
+  // The drain is complete; sub-barriers count appends from here on.
+  pendingCross_.store(0, std::memory_order_relaxed);
+
   // Next conservative window.
   SimTime minNext = SimTime::max();
   bool allAtDeadline = true;
@@ -103,11 +112,44 @@ void ShardedSim::serialPhase(SimTime deadline) {
     done_ = allAtDeadline;
     windowBound_ = pastDeadline;
     windowAdvanceTo_ = deadline;
+    reliefActive_.store(false, std::memory_order_relaxed);
   } else {
     windowBound_ = std::min(minNext + lookahead_, pastDeadline);
     windowAdvanceTo_ = std::min(windowBound_, deadline);
+    // Arm barrier relief: with every mailbox empty there is nothing only
+    // the full barrier can do, so the next windows may advance on the
+    // cheap sub-barrier until traffic appears or the episode budget runs
+    // out. (Workers read the flag after the epoch flip under the barrier
+    // mutex, which orders these plain-ish stores.)
+    const bool relieve = reliefK_ > 1 && drained.empty();
+    subLeft_ = relieve ? reliefK_ - 1 : 0;
+    reliefActive_.store(subLeft_ > 0, std::memory_order_relaxed);
   }
   ++windows_;
+}
+
+void ShardedSim::subLeaderStep(SimTime deadline) {
+  const unsigned n = static_cast<unsigned>(sims_.size());
+  SimTime minNext = SimTime::max();
+  for (unsigned s = 0; s < n; ++s) minNext = std::min(minNext, shardNext_[s]);
+  const SimTime pastDeadline = deadline + nanoseconds(1);
+  // Escalate to the full barrier whenever it could matter: a cross-shard
+  // message needs the deterministic drain, the horizon's end needs the
+  // done-protocol, and an exhausted episode re-arms through serialPhase.
+  // On continue, the bound formula is serialPhase's verbatim — that is the
+  // whole digest-identity argument.
+  if (pendingCross_.load(std::memory_order_relaxed) != 0 || subLeft_ == 0 ||
+      minNext > deadline) {
+    reliefActive_.store(false, std::memory_order_relaxed);
+  } else {
+    windowBound_ = std::min(minNext + lookahead_, pastDeadline);
+    windowAdvanceTo_ = std::min(windowBound_, deadline);
+    --subLeft_;
+    ++windows_;
+    ++reliefWindows_;
+  }
+  subArrived_.store(0, std::memory_order_relaxed);
+  subEpoch_.fetch_add(1, std::memory_order_release);
 }
 
 void ShardedSim::workerLoop(unsigned shard, SimTime deadline) {
@@ -130,6 +172,24 @@ void ShardedSim::workerLoop(unsigned shard, SimTime deadline) {
       if (done_) break;
     }
     sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
+    // Barrier relief: advance further windows on the cheap atomic barrier
+    // until a cross-shard send, the deadline, or the episode budget sends
+    // everyone back to the full barrier above.
+    while (reliefActive_.load(std::memory_order_relaxed)) {
+      const std::uint64_t epoch = subEpoch_.load(std::memory_order_acquire);
+      shardNext_[shard] = sims_[shard]->nextEventTime();
+      if (subArrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        // Last arriver: the acq_rel chain above makes every peer's
+        // shardNext_ write and mailbox append visible here.
+        subLeaderStep(deadline);
+      } else {
+        while (subEpoch_.load(std::memory_order_acquire) == epoch) {
+          std::this_thread::yield();
+        }
+      }
+      if (!reliefActive_.load(std::memory_order_relaxed)) break;
+      sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
+    }
   }
   tlsCurrentShard = 0;
 }

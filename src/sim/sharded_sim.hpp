@@ -40,6 +40,7 @@
 // threads == shards so the barrier cannot deadlock), and each adopting the
 // launching thread's InternDomain so dense handles resolve on every shard.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -145,9 +146,28 @@ class ShardedSim : public ShardRouter {
   // deadline together); shard 0 is the witness.
   SimTime now() const { return sims_[0]->now(); }
 
+  // --- Barrier relief -------------------------------------------------------
+  // When a full barrier finds every mailbox empty, up to `k - 1` subsequent
+  // windows run on a light-weight sense-reversing atomic barrier (no mutex,
+  // no condition variable, no drain pass) before returning to the full
+  // barrier. Each sub-window's bound is computed by the EXACT formula the
+  // full barrier uses — min(next event across shards) + lookahead, capped
+  // past the deadline — and any cross-shard send observed at a sub-barrier
+  // escalates straight back to the full barrier for the drain. The window
+  // bound sequence, and therefore every event execution, is bit-identical
+  // to k = 1; only the synchronization cost changes. This is the relief
+  // valve for barrier-bound workloads (the 1k preset spends most of its
+  // wall clock parking/unparking workers at ~29 events/window). k = 1
+  // disables relief; values are clamped to >= 1.
+  void setBarrierRelief(unsigned k) { reliefK_ = k < 1 ? 1 : k; }
+  unsigned barrierRelief() const { return reliefK_; }
+
   // --- Telemetry ------------------------------------------------------------
   std::size_t windowCount() const { return windows_; }
   std::size_t crossShardMessages() const { return crossMessages_; }
+  // Windows advanced on the light-weight sub-barrier (subset of
+  // windowCount()).
+  std::size_t reliefWindowCount() const { return reliefWindows_; }
   std::size_t pendingCount() const;
 
  private:
@@ -170,6 +190,9 @@ class ShardedSim : public ShardRouter {
   // drains all mailboxes into the destination sims (deterministic merge
   // order), then computes the next window bound.
   void serialPhase(SimTime deadline);
+  // Last arriver at a sub-barrier: decides continue-vs-escalate and, on
+  // continue, publishes the next sub-window bound.
+  void subLeaderStep(SimTime deadline);
   Mailbox& mailbox(unsigned src, unsigned dst) {
     return mail_[src * sims_.size() + dst];
   }
@@ -194,6 +217,21 @@ class ShardedSim : public ShardRouter {
 
   std::size_t windows_ = 0;
   std::size_t crossMessages_ = 0;
+
+  // Sub-barrier state. Ordering contract: workers publish shardNext_[s] and
+  // any mailbox appends BEFORE the acq_rel arrival increment; the last
+  // arriver (sub-leader) therefore observes them all, writes the plain
+  // fields below, and publishes with the release epoch flip that the
+  // spinning workers acquire. reliefActive_/pendingCross_ are atomics only
+  // so the relaxed accesses outside those edges are race-free.
+  unsigned reliefK_ = 8;
+  std::atomic<bool> reliefActive_{false};
+  std::atomic<std::size_t> pendingCross_{0};  // mailbox appends since drain
+  std::atomic<unsigned> subArrived_{0};
+  std::atomic<std::uint64_t> subEpoch_{0};
+  std::vector<SimTime> shardNext_;  // per shard: nextEventTime at arrival
+  unsigned subLeft_ = 0;            // sub-windows remaining in this episode
+  std::size_t reliefWindows_ = 0;
 };
 
 }  // namespace microedge

@@ -83,6 +83,7 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
 
   sharded_ = std::make_unique<ShardedSim>(config_.shards,
                                           config_.networkConfig.baseLatency);
+  sharded_->setBarrierRelief(config_.barrierRelief);
   ShardMap& map = sharded_->shardMap();
 
   TopologySpec spec;
@@ -196,6 +197,10 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
         cross ? SimDuration::zero() : config_.frameDeadline;
     clientConfig.maxFailovers = config_.maxFailovers;
     clientConfig.health = config_.lbHealth;
+    // Keyed transport loss: the stream uid tokens every message, so which
+    // frames a loss window drops is a pure function of (plan seed, uid,
+    // frame seq) — identical at every shard count AND for batched ingest.
+    clientConfig.streamToken = uid;
     stream->client = dataPlane_->makeClient(std::move(clientConfig));
     Status configured = stream->client->configureLb(lb);
     if (!configured.isOk()) {
@@ -316,10 +321,11 @@ void ShardedCluster::armFaults(const FaultPlan& plan) {
         const double multiplier =
             event.kind == FaultKind::kLatencySpike ? event.magnitude : 1.0;
         // One window per transport lane, applied by each lane's own shard
-        // (lanes are shard-local state). setFaultOnLane seeds lane s with
-        // seed + s, so the drop pattern a shard's traffic sees depends only
-        // on its own draw sequence — identical at every shard count for
-        // shard-local traffic.
+        // (lanes are shard-local state). Every stream's client is keyed
+        // (streamToken = uid), so the drop decision for each message is a
+        // pure function of (plan seed, stream uid, frame seq, attempt, hop)
+        // — no per-lane draw order involved — and the loss pattern is
+        // identical at every shard count, including for cross-shard frames.
         for (unsigned s = 0; s < sharded_->shardCount(); ++s) {
           sharded_->postToShard(
               s, at, [this, s, loss, multiplier, seed = plan.seed] {

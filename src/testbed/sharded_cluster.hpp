@@ -24,7 +24,9 @@
 // Chaos: a FaultPlan is pre-armed at setup onto each event's owner shard
 // (TPU crash -> removeService at t + pool/recovery at t+detectionDelay on
 // the TPU's shard; hang -> setHung window; transport faults -> one
-// per-shard lane window, seeded seed+shard). Weight pushes and evictions
+// per-shard lane window whose keyed drop decisions depend only on (plan
+// seed, stream uid, frame seq) — shard-count invariant, so LOSS sits on
+// the differential path). Weight pushes and evictions
 // from recovery are posted to the affected client's shard one lookahead
 // later — the modelled control-plane push latency — so they are
 // deterministic and identical at every shard count.
@@ -71,6 +73,10 @@ struct ShardedClusterConfig {
   // Every `crossRackStride`-th camera targets the next rack's TPUs
   // (cross-shard when racks land on different shards); 0 = all rack-local.
   int crossRackStride = 0;
+  // ShardedSim::setBarrierRelief budget: max windows per empty-mailbox
+  // episode advanced on the light-weight sub-barrier. 1 disables relief;
+  // digests are identical at any value (see sharded_sim.hpp).
+  unsigned barrierRelief = 8;
   PackingStrategy strategy = PackingStrategy::kFirstFit;
   LbSpread spread = LbSpread::kSmooth;
   TpuHardwareConfig tpuConfig{};

@@ -60,6 +60,24 @@ class SlabPool {
     return Handle{index, gen};
   }
 
+  // Acquires `n` slots in one call (a burst of frames entering the
+  // pipeline), appending their handles to `out`. Equivalent to n acquire()
+  // calls — same LIFO recycling, one free-list top-up instead of n empty
+  // checks; chunks are added upfront so at most one growth path runs per
+  // burst regardless of n.
+  void acquireRun(std::size_t n, std::vector<Handle>& out) {
+    while (freeList_.size() < n) addChunk();
+    out.reserve(out.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t index = freeList_.back();
+      freeList_.pop_back();
+      std::uint32_t gen = ++generation_[index];
+      assert((gen & 1u) == 1u && "acquired slot must be generation-odd");
+      out.push_back(Handle{index, gen});
+    }
+    inUse_ += n;
+  }
+
   // Resolves a handle; nullptr if the handle is stale (its slot has been
   // released since, whether or not it was reacquired).
   T* get(Handle h) {

@@ -3,17 +3,17 @@
 // FrameBreakdown digests (every timing component of every frame), outcome
 // counters, and the serialized metrics dump — on a healthy cluster AND
 // under a chaos plan (TPU crash with delayed detection + recovery/eviction,
-// hang window, latency spike).
+// hang window, transport loss, latency spike).
 //
 // What keeps the witness exact (see testbed/sharded_cluster.hpp):
 //  * camera phases are staggered so no two events share a timestamp;
 //  * the healthy cross-rack pipeline reproduces solo timestamps exactly;
 //  * chaos plans run with rack-local streams only, because failure NACKs
 //    legitimately resolve later cross-shard than solo;
-//  * transport LOSS faults are excluded here — drop draws come from
-//    per-lane RNG streams and the lane<->traffic pairing depends on the
-//    shard count by design (the chaos soak covers loss under a fixed
-//    count; the latency-spike fault is draw-free and differential-safe).
+//  * transport LOSS is on the differential path: the harness keys every
+//    client with its stream uid, so each message's drop decision is a pure
+//    function of (plan seed, uid, frame seq, attempt, hop) — no per-lane
+//    draw order — and the loss pattern is shard-count invariant.
 
 #include <gtest/gtest.h>
 
@@ -71,7 +71,7 @@ TEST(ShardedDifferential, HealthyClusterWithCrossRackStreams) {
   }
 }
 
-TEST(ShardedDifferential, ChaosPlanCrashHangAndLatencySpike) {
+TEST(ShardedDifferential, ChaosPlanCrashHangLossAndLatencySpike) {
   // Build the plan once against a probe instance's topology (TPU names are
   // identical at every shard count — same topology spec).
   std::vector<std::string> tpuIds;
@@ -94,6 +94,11 @@ TEST(ShardedDifferential, ChaosPlanCrashHangAndLatencySpike) {
       {milliseconds(500), FaultKind::kTpuCrash, tpuIds[0], {}, 0.0});
   plan.events.push_back({milliseconds(800), FaultKind::kTpuHang, tpuIds[3],
                          milliseconds(400), 0.0});
+  // Keyed loss (clients carry streamToken = uid): which frames drop depends
+  // only on (seed, uid, frame seq), so the exclusion that once kept LOSS off
+  // the differential is lifted.
+  plan.events.push_back({milliseconds(1000), FaultKind::kTransportLoss,
+                         std::string(), milliseconds(600), 0.15});
   plan.events.push_back({milliseconds(1200), FaultKind::kLatencySpike,
                          std::string(), milliseconds(300), 3.0});
 
@@ -106,9 +111,12 @@ TEST(ShardedDifferential, ChaosPlanCrashHangAndLatencySpike) {
     cluster.armFaults(plan);
     cluster.run(milliseconds(2500));
 
-    // The faults visibly happened: frames died at the dead target and the
-    // cluster still made forward progress everywhere else.
+    // The faults visibly happened: frames died at the dead target, the loss
+    // window timed frames out on the wire, and the cluster still made
+    // forward progress everywhere else.
     EXPECT_GT(cluster.outcomeTotal(FrameOutcome::kDroppedDeadTarget), 0u)
+        << "shards=" << shards;
+    EXPECT_GT(cluster.outcomeTotal(FrameOutcome::kTimedOut), 0u)
         << "shards=" << shards;
     EXPECT_GT(cluster.totalCompleted(), 300u) << "shards=" << shards;
 
