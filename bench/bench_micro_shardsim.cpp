@@ -1,27 +1,39 @@
-// bench_micro_shardsim — sharded-simulation throughput vs shard count.
+// bench_micro_shardsim — sharded-simulation throughput vs shard count and
+// window-bound mode.
 //
-// Runs the city-slice harness (testbed/sharded_cluster.hpp) at 1k-node and
-// 10k-node presets across a shard-count sweep and reports simulated
-// frames/s and events/s per shard count, plus the per-run result digest —
-// the digest column doubles as an inline differential check (every shard
-// count must compute the identical digest or the bench aborts).
+// Runs the city-slice harness (testbed/sharded_cluster.hpp) at 1k-node,
+// 10k-node and 100k-stream presets across a (window-bound mode x shard
+// count) grid and reports simulated frames/s, events/s and events/window,
+// plus the per-run result digest — the digest column doubles as an inline
+// differential check: every cell of the grid must compute the identical
+// digest or the bench aborts (window bounds and shard counts only
+// partition the event set; they may never change the results).
 //
-//   bench_micro_shardsim --preset=1k --shards=1,2,4,8 --out=BENCH_shardsim.json
-//   bench_micro_shardsim --smoke --shards=4 --dump=metrics.json
+//   bench_micro_shardsim --preset=1k --shards=1,2,4,8 --mode=fixed,adaptive
+//   bench_micro_shardsim --smoke --shards=4 --mode=adaptive --dump=m.json
 //
 // --smoke runs a small fixed workload and writes its deterministic metrics
-// dump to --dump; CI runs it at shards=1 and shards=4 and byte-compares the
-// two files (the sharded-determinism smoke).
+// dump to --dump; CI runs it across the mode x shard grid and byte-compares
+// every file (the sharded-determinism smoke).
 //
 // Speedup expectations are machine-dependent: shards only help when worker
 // threads land on distinct cores. On a single-core machine the sweep
-// documents PARITY (sharding must not cost throughput); the committed
-// baseline states the core count for exactly that reason.
+// documents PARITY for kFixed (sharding must not cost throughput) and the
+// window-widening win for kAdaptive (fewer, fatter windows amortize the
+// barrier even on one core); the committed baseline states the core count
+// for exactly that reason.
+//
+// The 100k preset additionally checks the steady-state allocation budget:
+// after a warmup run the remaining simulation must average (amortized)
+// zero heap allocations per frame — the bench counts them via a global
+// counting operator new and aborts if the budget is blown.
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -30,37 +42,101 @@
 #include "testbed/sharded_cluster.hpp"
 #include "util/strings.hpp"
 
-using namespace microedge;
+// --- Counting allocator ------------------------------------------------------
+// Same idiom as bench_micro_dataplane: count every global allocation so the
+// 100k preset can assert its steady state is allocation-free.
 
 namespace {
+std::atomic<std::uint64_t> g_allocCount{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace microedge {
+namespace {
+
+std::uint64_t allocsNow() {
+  return g_allocCount.load(std::memory_order_relaxed);
+}
 
 struct Preset {
   std::string name;
   int racks = 0;
   int tRpisPerRack = 0;
   int vRpisPerRack = 0;
+  int streamsPerVRpi = 1;
+  int streamsPerTRpi = 0;
+  double fps = 15.0;
+  double tpuUnits = 0.0;  // 0 => profile from the zoo at `fps`
+  int deadlineMs = 60;
   double horizonSeconds = 0;
+  // Steady state must be allocation-free past this warmup (0 = no check).
+  // Must cover one full frame period of EVERY stream: phases stagger over
+  // a whole period, so a shorter warmup would count late streams' first
+  // frames — which legitimately grow client/queue capacity — as steady
+  // state.
+  double warmupSeconds = 0;
 };
 
-// Nodes per rack = tRpis + vRpis; streams = racks * vRpis.
+// Nodes per rack = tRpis + vRpis; streams = racks * (vRpis * perV + tRpis *
+// perT). The 100k preset reuses the 10k-node city slice but hosts ten
+// streams on every RPi — tRPis included — at 1 fps with an explicit
+// per-stream TPU share so admission still packs 100 streams per rack.
 Preset presetByName(const std::string& name) {
-  if (name == "smoke") return {"smoke", 4, 1, 2, 1.0};      // 12 nodes
-  if (name == "1k") return {"1k", 100, 2, 8, 1.0};          // 1000 nodes
-  if (name == "10k") return {"10k", 1000, 2, 8, 0.25};      // 10000 nodes
-  std::cerr << "unknown preset " << name << " (smoke|1k|10k)\n";
+  if (name == "smoke") return {"smoke", 4, 1, 2, 1, 0, 15.0, 0.0, 60, 1.0};
+  if (name == "1k") return {"1k", 100, 2, 8, 1, 0, 15.0, 0.0, 60, 1.0};
+  if (name == "10k") return {"10k", 1000, 2, 8, 1, 0, 15.0, 0.0, 60, 0.25};
+  if (name == "100k") {
+    Preset p{"100k", 1000, 2, 8, 10, 10, 1.0, 0.01, 0, 2.5};
+    p.warmupSeconds = 1.25;  // one full 1 fps period + slack
+    return p;
+  }
+  std::cerr << "unknown preset " << name << " (smoke|1k|10k|100k)\n";
   std::exit(2);
 }
 
-ShardedClusterConfig configFor(const Preset& preset, unsigned shards) {
+ShardedSim::WindowBound modeByName(const std::string& name) {
+  if (name == "fixed") return ShardedSim::WindowBound::kFixed;
+  if (name == "adaptive") return ShardedSim::WindowBound::kAdaptive;
+  std::cerr << "unknown mode " << name << " (fixed|adaptive)\n";
+  std::exit(2);
+}
+
+const char* modeName(ShardedSim::WindowBound mode) {
+  return mode == ShardedSim::WindowBound::kAdaptive ? "adaptive" : "fixed";
+}
+
+ShardedClusterConfig configFor(const Preset& preset, unsigned shards,
+                               ShardedSim::WindowBound mode) {
   ShardedClusterConfig config;
   config.shards = shards;
   config.racks = preset.racks;
   config.tRpisPerRack = preset.tRpisPerRack;
   config.vRpisPerRack = preset.vRpisPerRack;
+  config.streamsPerVRpi = preset.streamsPerVRpi;
+  config.streamsPerTRpi = preset.streamsPerTRpi;
   config.tpusPerTRpi = 1;
-  config.fps = 15.0;
-  config.frameDeadline = milliseconds(60);
+  config.fps = preset.fps;
+  config.tpuUnits = preset.tpuUnits;
+  config.frameDeadline = milliseconds(preset.deadlineMs);
   config.crossRackStride = 5;  // keep some cross-shard traffic in the mix
+  config.windowBound = mode;
+  // Block placement keeps stride-to-next-rack streams shard-local except at
+  // block boundaries — the locality the adaptive bound feeds on. Results
+  // are mapping-invariant, so both modes use it and the digests must still
+  // match the committed round-robin baselines.
+  config.rackMapping = RackMapping::kBlock;
   return config;
 }
 
@@ -70,27 +146,61 @@ struct RunResult {
   std::uint64_t frames = 0;
   std::size_t events = 0;
   std::size_t windows = 0;
+  std::size_t reliefWindows = 0;
+  std::size_t adaptiveWindows = 0;
   std::size_t crossMessages = 0;
   std::uint64_t digest = 0;
+  double steadyAllocsPerFrame = 0;
 };
 
-RunResult runPreset(const Preset& preset, unsigned shards) {
-  ShardedCluster cluster(configFor(preset, shards));
+RunResult runPreset(const Preset& preset, unsigned shards,
+                    ShardedSim::WindowBound mode) {
+  ShardedCluster cluster(configFor(preset, shards, mode));
   if (!cluster.setupStatus().isOk()) {
     std::cerr << "setup failed: " << cluster.setupStatus().toString() << "\n";
     std::exit(1);
   }
-  const auto start = std::chrono::steady_clock::now();
-  const std::size_t fired =
-      cluster.shardedSim().runFor(secondsF(preset.horizonSeconds));
-  const auto end = std::chrono::steady_clock::now();
-
   RunResult result;
   result.shards = shards;
+
+  double horizon = preset.horizonSeconds;
+  std::size_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  if (preset.warmupSeconds > 0) {
+    // Warmup grows every pool/heap/lane to its steady-state capacity (and
+    // covers every stream's first frame — see Preset). The rest must be
+    // (amortized) alloc-free; the small per-run fixed cost (worker-thread
+    // launch) is divided over the phase's frames, hence the < 0.01
+    // amortized budget.
+    const double warmup = preset.warmupSeconds;
+    fired += cluster.shardedSim().runFor(secondsF(warmup));
+    const std::uint64_t framesBefore = cluster.totalSubmitted();
+    const std::uint64_t allocsBefore = allocsNow();
+    fired += cluster.shardedSim().runFor(secondsF(horizon - warmup));
+    const std::uint64_t allocs = allocsNow() - allocsBefore;
+    const std::uint64_t frames = cluster.totalSubmitted() - framesBefore;
+    result.steadyAllocsPerFrame =
+        frames > 0 ? static_cast<double>(allocs) / static_cast<double>(frames)
+                   : static_cast<double>(allocs);
+    if (result.steadyAllocsPerFrame >= 0.01) {
+      std::cerr << "STEADY-STATE ALLOCATION BUDGET BLOWN: " << allocs
+                << " allocs over " << frames << " frames ("
+                << result.steadyAllocsPerFrame << "/frame) at preset "
+                << preset.name << " shards=" << shards << " mode="
+                << modeName(mode) << "\n";
+      std::exit(1);
+    }
+  } else {
+    fired = cluster.shardedSim().runFor(secondsF(horizon));
+  }
+  const auto end = std::chrono::steady_clock::now();
+
   result.wallSeconds = std::chrono::duration<double>(end - start).count();
   result.frames = cluster.totalSubmitted();
   result.events = fired;
   result.windows = cluster.shardedSim().windowCount();
+  result.reliefWindows = cluster.shardedSim().reliefWindowCount();
+  result.adaptiveWindows = cluster.shardedSim().adaptiveWindowCount();
   result.crossMessages = cluster.shardedSim().crossShardMessages();
   result.digest = cluster.digest();
   return result;
@@ -107,19 +217,28 @@ bool parseFlag(const std::string& arg, const std::string& name,
 void usage() {
   std::cerr <<
       "usage: bench_micro_shardsim [options]\n"
-      "  --preset=P        smoke | 1k | 10k | all (default all)\n"
+      "  --preset=P        smoke | 1k | 10k | 100k | all = 1k+10k+100k\n"
+      "                    (default all)\n"
       "  --shards=LIST     comma list of shard counts (default 1,2,4,8)\n"
+      "  --mode=LIST       window-bound modes: fixed | adaptive\n"
+      "                    (default fixed,adaptive; digests must agree\n"
+      "                    across the whole mode x shard grid)\n"
       "  --out=PATH        JSON results (default BENCH_shardsim.json)\n"
-      "  --smoke           one small run; with --dump, write its metrics\n"
+      "  --smoke           one small run (first mode/shards entry); with\n"
+      "                    --dump, write its metrics\n"
       "  --dump=PATH       write the run's deterministic metrics dump\n"
-      "                    (CI byte-compares shards=1 vs shards=4)\n";
+      "                    (CI byte-compares every mode x shard cell)\n";
 }
 
 }  // namespace
+}  // namespace microedge
 
 int main(int argc, char** argv) {
+  using namespace microedge;
+
   std::string presetName = "all";
   std::string shardList = "1,2,4,8";
+  std::string modeList = "fixed,adaptive";
   std::string outPath = "BENCH_shardsim.json";
   std::string dumpPath;
   bool smoke = false;
@@ -131,6 +250,8 @@ int main(int argc, char** argv) {
       presetName = value;
     } else if (parseFlag(arg, "shards", &value)) {
       shardList = value;
+    } else if (parseFlag(arg, "mode", &value)) {
+      modeList = value;
     } else if (parseFlag(arg, "out", &value)) {
       outPath = value;
     } else if (parseFlag(arg, "dump", &value)) {
@@ -155,7 +276,13 @@ int main(int argc, char** argv) {
       shardCounts.push_back(static_cast<unsigned>(std::stoul(token)));
     }
   }
-  if (shardCounts.empty()) {
+  std::vector<ShardedSim::WindowBound> modes;
+  {
+    std::stringstream ss(modeList);
+    std::string token;
+    while (std::getline(ss, token, ',')) modes.push_back(modeByName(token));
+  }
+  if (shardCounts.empty() || modes.empty()) {
     usage();
     return 2;
   }
@@ -163,7 +290,8 @@ int main(int argc, char** argv) {
   // --smoke: one deterministic small run; the metrics dump is the CI
   // byte-comparison artifact.
   if (smoke) {
-    ShardedCluster cluster(configFor(presetByName("smoke"), shardCounts[0]));
+    ShardedCluster cluster(
+        configFor(presetByName("smoke"), shardCounts[0], modes[0]));
     if (!cluster.setupStatus().isOk()) {
       std::cerr << "setup failed: " << cluster.setupStatus().toString() << "\n";
       return 1;
@@ -185,7 +313,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> presetNames =
-      presetName == "all" ? std::vector<std::string>{"1k", "10k"}
+      presetName == "all" ? std::vector<std::string>{"1k", "10k", "100k"}
                           : std::vector<std::string>{presetName};
 
   const unsigned cores = std::thread::hardware_concurrency();
@@ -196,46 +324,64 @@ int main(int argc, char** argv) {
   for (const std::string& name : presetNames) {
     const Preset preset = presetByName(name);
     const int nodesPerRack = preset.tRpisPerRack + preset.vRpisPerRack;
+    bool haveReference = false;
     std::uint64_t referenceDigest = 0;
     double soloWall = 0;
-    for (unsigned shards : shardCounts) {
-      const RunResult r = runPreset(preset, shards);
-      if (shards == shardCounts.front()) {
-        referenceDigest = r.digest;
-        soloWall = r.wallSeconds;
-      } else if (r.digest != referenceDigest) {
-        // The bench IS a differential run: every shard count must compute
-        // the identical result.
-        std::cerr << "DIGEST MISMATCH at preset " << name << " shards="
-                  << shards << "\n";
-        return 1;
+    for (ShardedSim::WindowBound mode : modes) {
+      for (unsigned shards : shardCounts) {
+        const RunResult r = runPreset(preset, shards, mode);
+        if (!haveReference) {
+          haveReference = true;
+          referenceDigest = r.digest;
+          soloWall = r.wallSeconds;
+        } else if (r.digest != referenceDigest) {
+          // The bench IS a differential run: every (mode, shard count)
+          // cell must compute the identical result.
+          std::cerr << "DIGEST MISMATCH at preset " << name << " shards="
+                    << shards << " mode=" << modeName(mode) << "\n";
+          return 1;
+        }
+        const double framesPerSec =
+            r.wallSeconds > 0 ? static_cast<double>(r.frames) / r.wallSeconds
+                              : 0;
+        const double eventsPerSec =
+            r.wallSeconds > 0 ? static_cast<double>(r.events) / r.wallSeconds
+                              : 0;
+        const double eventsPerWindow =
+            r.windows > 0
+                ? static_cast<double>(r.events) / static_cast<double>(r.windows)
+                : static_cast<double>(r.events);
+        const double speedup =
+            r.wallSeconds > 0 ? soloWall / r.wallSeconds : 0;
+        json += strCat(firstRun ? "\n" : ",\n",
+                       "    {\"preset\": \"", name, "\", \"nodes\": ",
+                       preset.racks * nodesPerRack,
+                       ", \"mode\": \"", modeName(mode), "\"",
+                       ", \"shards\": ", shards,
+                       ", \"sim_seconds\": ", preset.horizonSeconds,
+                       ", \"wall_seconds\": ", r.wallSeconds,
+                       ", \"frames\": ", r.frames,
+                       ", \"frames_per_wall_second\": ", framesPerSec,
+                       ", \"events\": ", r.events,
+                       ", \"events_per_wall_second\": ", eventsPerSec,
+                       ", \"windows\": ", r.windows,
+                       ", \"events_per_window\": ", eventsPerWindow,
+                       ", \"relief_windows\": ", r.reliefWindows,
+                       ", \"adaptive_windows\": ", r.adaptiveWindows,
+                       ", \"cross_shard_messages\": ", r.crossMessages,
+                       ", \"speedup_vs_first\": ", speedup);
+        if (preset.warmupSeconds > 0) {
+          json += strCat(", \"steady_allocs_per_frame\": ",
+                         r.steadyAllocsPerFrame);
+        }
+        json += strCat(", \"digest\": ", r.digest, "}");
+        firstRun = false;
+        std::cout << name << " mode=" << modeName(mode) << " shards=" << shards
+                  << ": " << static_cast<std::uint64_t>(framesPerSec)
+                  << " frames/s (wall " << r.wallSeconds << " s, "
+                  << static_cast<std::uint64_t>(eventsPerWindow)
+                  << " events/window, speedup " << speedup << "x)\n";
       }
-      const double framesPerSec =
-          r.wallSeconds > 0 ? static_cast<double>(r.frames) / r.wallSeconds
-                            : 0;
-      const double eventsPerSec =
-          r.wallSeconds > 0 ? static_cast<double>(r.events) / r.wallSeconds
-                            : 0;
-      const double speedup = r.wallSeconds > 0 ? soloWall / r.wallSeconds : 0;
-      json += strCat(firstRun ? "\n" : ",\n",
-                     "    {\"preset\": \"", name, "\", \"nodes\": ",
-                     preset.racks * nodesPerRack,
-                     ", \"shards\": ", shards,
-                     ", \"sim_seconds\": ", preset.horizonSeconds,
-                     ", \"wall_seconds\": ", r.wallSeconds,
-                     ", \"frames\": ", r.frames,
-                     ", \"frames_per_wall_second\": ", framesPerSec,
-                     ", \"events\": ", r.events,
-                     ", \"events_per_wall_second\": ", eventsPerSec,
-                     ", \"windows\": ", r.windows,
-                     ", \"cross_shard_messages\": ", r.crossMessages,
-                     ", \"speedup_vs_first\": ", speedup,
-                     ", \"digest\": ", r.digest, "}");
-      firstRun = false;
-      std::cout << name << " shards=" << shards << ": "
-                << static_cast<std::uint64_t>(framesPerSec)
-                << " frames/s (wall " << r.wallSeconds << " s, speedup "
-                << speedup << "x)\n";
     }
   }
   json += "\n  ]\n}\n";

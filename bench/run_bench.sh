@@ -20,6 +20,9 @@
 #                     (-> BENCH_shardsim.json; the digest column is an
 #                     inline differential — any mismatch aborts the run)
 #   BENCH_SHARDSIM_SHARDS=1,2,4,8  shard counts for the sweep
+#   BENCH_SHARDSIM_MODES=fixed,adaptive  window-bound modes (the adaptive
+#                     ECSB bound must reproduce the fixed bound's digests
+#                     bit-for-bit; the binary aborts on any mismatch)
 #
 # The JSON lands at BENCH_sim.json / BENCH_sched.json / BENCH_dataplane.json
 # by default so the perf trajectory of the event engine, the admission
@@ -81,11 +84,13 @@ if [[ "${BENCH_SWEEP:-1}" == "1" ]]; then
 fi
 
 # Sharded-simulation throughput (src/sim/sharded_sim.*): also not a
-# google-benchmark suite — the binary sweeps shard counts over the 1k- and
-# 10k-node city slices and records frames/s, events/s and speedup-vs-solo
-# alongside the machine's core count (speedup is meaningful only when the
-# shard workers land on distinct cores; on one core the sweep documents
-# parity instead).
+# google-benchmark suite — the binary sweeps window-bound mode x shard
+# count over the 1k- and 10k-node city slices and records frames/s,
+# events/s, events/window and speedup-vs-solo alongside the machine's core
+# count (speedup is meaningful only when the shard workers land on distinct
+# cores; on one core the sweep documents parity instead). Digests are an
+# inline differential across the WHOLE mode x shard grid: any cell that
+# diverges aborts the run.
 if [[ "${BENCH_SHARDSIM:-1}" == "1" ]]; then
   SHARDSIM_BIN="${BUILD_DIR}/bench/bench_micro_shardsim"
   if [[ ! -x "${SHARDSIM_BIN}" ]]; then
@@ -95,6 +100,7 @@ if [[ "${BENCH_SHARDSIM:-1}" == "1" ]]; then
   "${SHARDSIM_BIN}" \
     --preset=all \
     --shards="${BENCH_SHARDSIM_SHARDS:-1,2,4,8}" \
+    --mode="${BENCH_SHARDSIM_MODES:-fixed,adaptive}" \
     --out="${SHARDSIM_OUT}"
   echo "wrote ${SHARDSIM_OUT}"
 fi

@@ -47,7 +47,12 @@ Status TpuDevice::loadModels(const std::vector<std::string>& names) {
   Pending job;
   job.model = ModelId{};  // invalid id marks a load job
   job.enqueueTime = sim_.now();
+  job.emitter = sim_.firingEmitter();
   job.done = nullptr;
+  // An emitter job queued behind an in-flight completion that was scheduled
+  // untagged: taint it, or the adaptive window bound would not see this
+  // queue's pending cross-shard work (simulator.hpp, taintEvent).
+  if (busy_ && job.emitter) sim_.taintEvent(currentEvent_);
   loadQueue_.push_back(std::move(composite));
   queue_.push_back(std::move(job));
   if (!busy_) startNext();
@@ -62,7 +67,11 @@ Status TpuDevice::invoke(ModelId model, InvokeCallback done) {
   Pending p;
   p.model = model;
   p.enqueueTime = sim_.now();
+  p.emitter = sim_.firingEmitter();
   p.done = std::move(done);
+  // See loadModels: a queued emitter job must taint the in-flight
+  // completion so the FIFO chain stays visible to the adaptive bound.
+  if (busy_ && p.emitter) sim_.taintEvent(currentEvent_);
   queue_.push_back(std::move(p));
   if (!busy_) startNext();
   return Status::ok();
@@ -215,7 +224,12 @@ void TpuDevice::startNext() {
 
   currentStats_ = stats;
   currentDone_ = std::move(job.done);
-  sim_.schedule(currentEnd_, [this] { onCurrentComplete(); });
+  // Re-assert the enqueuing cascade's emitter taint: this schedule often
+  // runs inside the PREVIOUS job's completion cascade (see Pending::emitter).
+  // The id is kept so a later emitter enqueue can taint this completion
+  // retroactively (see invoke/loadModels).
+  currentEvent_ =
+      sim_.schedule(currentEnd_, [this] { onCurrentComplete(); }, job.emitter);
 }
 
 void TpuDevice::onCurrentComplete() {

@@ -132,6 +132,13 @@ class TpuDevice {
   struct Pending {
     ModelId model{};  // invalid id marks a load job
     SimTime enqueueTime{};
+    // Emitter taint of the cascade that enqueued this job, captured because
+    // the FIFO carries work ACROSS cascades: a queued job's completion event
+    // is scheduled from the *previous* job's completion, so without the
+    // captured bit a cross-shard frame queued behind a local one would run
+    // its completion (and its cross-shard response) untagged — unsound for
+    // the sharded sim's adaptive window bound (DESIGN.md §12).
+    bool emitter = false;
     InvokeCallback done;
   };
 
@@ -162,6 +169,10 @@ class TpuDevice {
   // event capture only `this` (inline in the event slot, no allocation).
   InvokeStats currentStats_{};
   InvokeCallback currentDone_;
+  // Id of the in-flight completion event, so an emitter job enqueued behind
+  // it can taint it retroactively (see invoke; stale once fired — taintEvent
+  // no-ops on the seq mismatch).
+  EventId currentEvent_{};
 
   // Resident composite, priority order, with per-model cached fraction and
   // partial-cache streaming penalty (both recomputed only when the resident

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 #include "sweep/thread_pool.hpp"
@@ -16,25 +17,37 @@ thread_local unsigned tlsCurrentShard = 0;
 
 unsigned ShardRouter::currentShard() { return tlsCurrentShard; }
 
-ShardedSim::ShardedSim(unsigned shards, SimDuration lookahead)
-    : map_(shards), lookahead_(lookahead) {
+ShardedSim::ShardedSim(unsigned shards, SimDuration lookahead,
+                       WindowBound bound)
+    : map_(shards), lookahead_(lookahead), boundMode_(bound) {
   assert(lookahead > SimDuration::zero() && "lookahead must be positive");
   const unsigned n = map_.shards();
   sims_.reserve(n);
   for (unsigned s = 0; s < n; ++s) {
     sims_.push_back(std::make_unique<Simulator>());
+    // The emitter side-index only pays for itself when the adaptive bound
+    // queries it; enabled here — before any actor schedules — because
+    // flipping it later would miss already-pending emitters.
+    if (boundMode_ == WindowBound::kAdaptive && n > 1) {
+      sims_.back()->setEmitterTracking(true);
+    }
   }
   mail_.resize(static_cast<std::size_t>(n) * n);
   shardNext_.resize(n);
+  shardEcsb_.resize(n, SimTime::max());
+  shardWindowFired_.resize(n, 0);
+  outboundMin_.resize(n, SimTime::max());
+  stallNanos_.resize(n, 0);
 }
 
-void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
+void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn,
+                             bool emitter) {
   assert(shard < sims_.size());
   const unsigned src = currentShard();
   if (!running_ || shard == src) {
     // Setup-phase arming (single-threaded, no worker owns any sim yet) or a
     // same-shard post: schedule directly, exactly like the solo path.
-    sims_[shard]->schedule(deliverAt, std::move(fn));
+    sims_[shard]->schedule(deliverAt, std::move(fn), emitter);
     return;
   }
   // Conservative-lookahead soundness: a message sent at t must not be
@@ -42,12 +55,25 @@ void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
   // window could miss it.
   assert(deliverAt >= sims_[src]->now() + lookahead_ &&
          "cross-shard delivery inside the lookahead window");
+  // The sharper invariant, and under the adaptive bound the one that
+  // catches emitter-taint coverage bugs: the sender fired at t >= the min
+  // ECSB the bound was computed from, so delivery lands at or after the
+  // bound every shard is advancing to. An untagged cascade sending
+  // cross-shard trips this in adaptive runs.
+  assert(deliverAt >= windowBound_ &&
+         "cross-shard send deliverable inside the current window (untagged "
+         "emitter cascade?)");
   Mailbox& box = mailbox(src, shard);
   assert(box.msgs.size() < kMailboxCapacity && "mailbox overflow");
   // Relief escalation signal: the next sub-barrier sees a nonzero count and
   // falls back to the full barrier for the drain. Ordering rides the
   // arrival barrier's acq_rel chain, so relaxed suffices.
   pendingCross_.fetch_add(1, std::memory_order_relaxed);
+  // ECSB component (b): earliest armed-but-undrained outbound send. Folded
+  // into this shard's published ECSB at sub-barriers; structurally inert
+  // (any append escalates the sub-barrier and the full barrier drains
+  // first) but keeps the published bound honest by construction.
+  outboundMin_[src] = std::min(outboundMin_[src], deliverAt);
   MailMsg msg;
   msg.deliverAt = deliverAt;
   msg.sentAt = sims_[src]->now();
@@ -56,19 +82,31 @@ void ShardedSim::postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
   box.msgs.push_back(std::move(msg));
 }
 
+// Events-per-window histogram: bucket by bit width, last bucket saturates.
+void ShardedSim::recordWindowEvents() {
+  if (!histPrimed_) {  // a run's first barrier: no window ran before it
+    histPrimed_ = true;
+    return;
+  }
+  std::uint64_t fired = 0;
+  for (std::uint64_t f : shardWindowFired_) fired += f;
+  std::size_t bucket = 0;
+  while (bucket + 1 < kWindowHistBuckets && (1ull << bucket) <= fired) {
+    ++bucket;
+  }
+  ++windowHist_[bucket];
+}
+
 void ShardedSim::serialPhase(SimTime deadline) {
   const unsigned n = static_cast<unsigned>(sims_.size());
+  recordWindowEvents();
   // Drain every mailbox in deterministic merge order. Within one (src,dst)
   // pair messages are already in send order; across pairs, order by
   // (deliverAt, sentAt, srcShard, srcSeq) so the schedule-sequence numbers
   // the destination assigns — the equal-timestamp tiebreak — depend only on
   // simulation state, never on which worker thread ran first.
-  struct Drained {
-    MailMsg msg;
-    unsigned src;
-    unsigned dst;
-  };
-  std::vector<Drained> drained;
+  std::vector<Drained>& drained = drainScratch_;  // capacity reused
+  drained.clear();
   for (unsigned src = 0; src < n; ++src) {
     for (unsigned dst = 0; dst < n; ++dst) {
       Mailbox& box = mailbox(src, dst);
@@ -90,19 +128,30 @@ void ShardedSim::serialPhase(SimTime deadline) {
   crossMessages_ += drained.size();
   for (Drained& d : drained) {
     // Delivery-time invariant: everything sent in the closed window is due
-    // at or after the bound every shard just advanced to.
+    // at or after the bound every shard just advanced to. Deliveries are
+    // scheduled emitter-tagged: their cascades (a frame arriving at a
+    // remote service, a NACK resuming a client) may well send back.
     assert(d.msg.deliverAt >= sims_[d.dst]->now());
-    sims_[d.dst]->schedule(d.msg.deliverAt, std::move(d.msg.fn));
+    sims_[d.dst]->schedule(d.msg.deliverAt, std::move(d.msg.fn),
+                           /*emitter=*/true);
   }
 
-  // The drain is complete; sub-barriers count appends from here on.
+  // The drain is complete; sub-barriers count appends from here on, and
+  // every shard's outbound head (ECSB component (b)) resets to +infinity.
   pendingCross_.store(0, std::memory_order_relaxed);
+  for (unsigned s = 0; s < n; ++s) outboundMin_[s] = SimTime::max();
 
-  // Next conservative window.
+  // Next conservative window. Under the adaptive mode the bound advances on
+  // the earliest event that could SEND cross-shard (the ECSB) instead of
+  // the earliest event, letting windows stretch across long purely-local
+  // stretches; the done-protocol still keys off the true next event.
+  const bool adaptive = boundMode_ == WindowBound::kAdaptive;
   SimTime minNext = SimTime::max();
+  SimTime minEcsb = SimTime::max();
   bool allAtDeadline = true;
   for (unsigned s = 0; s < n; ++s) {
     minNext = std::min(minNext, sims_[s]->nextEventTime());
+    if (adaptive) minEcsb = std::min(minEcsb, sims_[s]->nextEmitterTime());
     allAtDeadline = allAtDeadline && sims_[s]->now() >= deadline;
   }
   const SimTime pastDeadline = deadline + nanoseconds(1);
@@ -114,8 +163,17 @@ void ShardedSim::serialPhase(SimTime deadline) {
     windowAdvanceTo_ = deadline;
     reliefActive_.store(false, std::memory_order_relaxed);
   } else {
-    windowBound_ = std::min(minNext + lookahead_, pastDeadline);
+    // base >= minNext always (emitters are a subset of events); base may be
+    // SimTime::max() — the all-shards-infinity case — where the whole rest
+    // of the horizon is one window (guard before the +lookahead overflow).
+    const SimTime base = adaptive ? minEcsb : minNext;
+    windowBound_ = base > deadline ? pastDeadline
+                                   : std::min(base + lookahead_, pastDeadline);
     windowAdvanceTo_ = std::min(windowBound_, deadline);
+    if (adaptive &&
+        windowBound_ > std::min(minNext + lookahead_, pastDeadline)) {
+      ++adaptiveWindows_;
+    }
     // Arm barrier relief: with every mailbox empty there is nothing only
     // the full barrier can do, so the next windows may advance on the
     // cheap sub-barrier until traffic appears or the episode budget runs
@@ -130,8 +188,13 @@ void ShardedSim::serialPhase(SimTime deadline) {
 
 void ShardedSim::subLeaderStep(SimTime deadline) {
   const unsigned n = static_cast<unsigned>(sims_.size());
+  const bool adaptive = boundMode_ == WindowBound::kAdaptive;
   SimTime minNext = SimTime::max();
-  for (unsigned s = 0; s < n; ++s) minNext = std::min(minNext, shardNext_[s]);
+  SimTime minEcsb = SimTime::max();
+  for (unsigned s = 0; s < n; ++s) {
+    minNext = std::min(minNext, shardNext_[s]);
+    if (adaptive) minEcsb = std::min(minEcsb, shardEcsb_[s]);
+  }
   const SimTime pastDeadline = deadline + nanoseconds(1);
   // Escalate to the full barrier whenever it could matter: a cross-shard
   // message needs the deterministic drain, the horizon's end needs the
@@ -142,8 +205,15 @@ void ShardedSim::subLeaderStep(SimTime deadline) {
       minNext > deadline) {
     reliefActive_.store(false, std::memory_order_relaxed);
   } else {
-    windowBound_ = std::min(minNext + lookahead_, pastDeadline);
+    recordWindowEvents();
+    const SimTime base = adaptive ? minEcsb : minNext;
+    windowBound_ = base > deadline ? pastDeadline
+                                   : std::min(base + lookahead_, pastDeadline);
     windowAdvanceTo_ = std::min(windowBound_, deadline);
+    if (adaptive &&
+        windowBound_ > std::min(minNext + lookahead_, pastDeadline)) {
+      ++adaptiveWindows_;
+    }
     --subLeft_;
     ++windows_;
     ++reliefWindows_;
@@ -156,8 +226,17 @@ void ShardedSim::workerLoop(unsigned shard, SimTime deadline) {
   InternDomainAdopt adopt(*domain_);
   tlsCurrentShard = shard;
   const unsigned n = static_cast<unsigned>(sims_.size());
+  const bool adaptive = boundMode_ == WindowBound::kAdaptive;
+  using WallClock = std::chrono::steady_clock;
+  const auto stalled = [this, shard](WallClock::time_point since) {
+    stallNanos_[shard] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() -
+                                                             since)
+            .count());
+  };
   for (;;) {
     {
+      const auto waitStart = WallClock::now();
       std::unique_lock<std::mutex> lock(barrierMu_);
       if (++arrived_ == n) {
         // Leader: every peer is parked, mailboxes and sims are quiescent.
@@ -169,26 +248,38 @@ void ShardedSim::workerLoop(unsigned shard, SimTime deadline) {
         const std::uint64_t epoch = barrierEpoch_;
         barrierCv_.wait(lock, [&] { return barrierEpoch_ != epoch; });
       }
+      stalled(waitStart);
       if (done_) break;
     }
-    sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
+    shardWindowFired_[shard] =
+        sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
     // Barrier relief: advance further windows on the cheap atomic barrier
     // until a cross-shard send, the deadline, or the episode budget sends
     // everyone back to the full barrier above.
     while (reliefActive_.load(std::memory_order_relaxed)) {
+      const auto spinStart = WallClock::now();
       const std::uint64_t epoch = subEpoch_.load(std::memory_order_acquire);
       shardNext_[shard] = sims_[shard]->nextEventTime();
+      if (adaptive) {
+        // This shard's ECSB: earliest emitter in either heap tier, floored
+        // by the head of any not-yet-drained outbound send (component (b)).
+        shardEcsb_[shard] = std::min(sims_[shard]->nextEmitterTime(),
+                                     outboundMin_[shard]);
+      }
       if (subArrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         // Last arriver: the acq_rel chain above makes every peer's
-        // shardNext_ write and mailbox append visible here.
+        // shardNext_/shardEcsb_/shardWindowFired_ write and mailbox append
+        // visible here.
         subLeaderStep(deadline);
       } else {
         while (subEpoch_.load(std::memory_order_acquire) == epoch) {
           std::this_thread::yield();
         }
       }
+      stalled(spinStart);
       if (!reliefActive_.load(std::memory_order_relaxed)) break;
-      sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
+      shardWindowFired_[shard] =
+          sims_[shard]->runBefore(windowBound_, windowAdvanceTo_);
     }
   }
   tlsCurrentShard = 0;
@@ -205,6 +296,7 @@ std::size_t ShardedSim::run(SimTime deadline) {
   } else {
     domain_ = &currentInternDomain();
     done_ = false;
+    histPrimed_ = false;
     running_ = true;
     // One long-lived task per shard on a pool sized threads == shards: each
     // worker thread binds to one shard for the whole run (fewer threads

@@ -20,6 +20,26 @@
 // past ("the mailbox delivery-time invariant": every message drained at the
 // window barrier is stamped deliverAt >= B).
 //
+// Adaptive window bound (WindowBound::kAdaptive): instead of the earliest
+// *event*, the barrier advances on the earliest *cross-shard-send bound*
+// (ECSB) — per shard, the min over (a) its next pending emitter-tagged
+// event (Simulator::nextEmitterTime(): the earliest event that can
+// transitively send cross-shard, across both heap tiers), and (b) the head
+// of its still-undrained outbound mailbox appends (structurally +infinity
+// at every bound computation, kept as a safety net — see the .cpp). The
+// bound becomes B = min_s(ECSB_s) + lookahead: a shard whose racks host no
+// cross-shard traffic publishes +infinity and stops throttling everyone
+// else, and a pure rack-local cluster jumps to the stop time in ONE window.
+// Soundness: every cross-shard send happens inside an emitter cascade, and
+// (by taint induction — roots tagged at schedule time, the engine closes
+// the tag under scheduling) every emitter event fired inside the window has
+// timestamp t >= min ECSB, so its sends deliver at t + lookahead >= B. Fire
+// traces are byte-identical to the fixed bound: window partitioning never
+// reorders events, it only chooses how many fire between barriers
+// (DESIGN.md §12 has the full argument). kFixed stays the default — raw
+// ShardedSim users that post untagged cross-shard sends (unit tests) rely
+// on every event being conservatively treated as an emitter.
+//
 // Cross-shard traffic travels through bounded per-(src,dst) SPSC mailboxes:
 // the source shard appends during the parallel phase (it is the only
 // writer), and the barrier leader alone drains them during the serial phase
@@ -40,6 +60,7 @@
 // threads == shards so the barrier cannot deadlock), and each adopting the
 // launching thread's InternDomain so dense handles resolve on every shard.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -73,11 +94,19 @@ class ShardRouter {
   // while the run loop is not executing, e.g. chaos-plan arming at setup)
   // this is a direct schedule; cross-shard during a run it is a mailbox
   // append, and `deliverAt` must be >= the sending shard's now() +
-  // lookahead().
-  virtual void postToShard(unsigned shard, SimTime deliverAt, EventFn fn) = 0;
+  // lookahead(). `emitter` tags a direct schedule as a cross-shard-emitting
+  // root (see Simulator::schedule); pass true when arming events whose
+  // cascades may send cross-shard (fault plans, control pushes) so the
+  // adaptive window bound stays sound.
+  virtual void postToShard(unsigned shard, SimTime deliverAt, EventFn fn,
+                           bool emitter) = 0;
+  void postToShard(unsigned shard, SimTime deliverAt, EventFn fn) {
+    postToShard(shard, deliverAt, std::move(fn), false);
+  }
 
-  void postToNode(NodeId node, SimTime deliverAt, EventFn fn) {
-    postToShard(shardOfNode(node), deliverAt, std::move(fn));
+  void postToNode(NodeId node, SimTime deliverAt, EventFn fn,
+                  bool emitter = false) {
+    postToShard(shardOfNode(node), deliverAt, std::move(fn), emitter);
   }
   // Shard whose event loop the calling thread is currently executing
   // (thread-local; 0 on non-worker threads, i.e. setup and solo runs).
@@ -93,12 +122,15 @@ class SoloRouter : public ShardRouter {
   explicit SoloRouter(Simulator& sim, SimDuration lookahead = SimDuration{})
       : sim_(sim), lookahead_(lookahead) {}
 
+  using ShardRouter::postToShard;
+
   unsigned shardCount() const override { return 1; }
   unsigned shardOfNode(NodeId) const override { return 0; }
   Simulator& shardSim(unsigned) override { return sim_; }
   SimDuration lookahead() const override { return lookahead_; }
-  void postToShard(unsigned, SimTime deliverAt, EventFn fn) override {
-    sim_.schedule(deliverAt, std::move(fn));
+  void postToShard(unsigned, SimTime deliverAt, EventFn fn,
+                   bool emitter) override {
+    sim_.schedule(deliverAt, std::move(fn), emitter);
   }
 
  private:
@@ -113,10 +145,19 @@ class ShardedSim : public ShardRouter {
   // modelling bug (the window is half a millisecond of simulated time).
   static constexpr std::size_t kMailboxCapacity = 1u << 20;
 
-  ShardedSim(unsigned shards, SimDuration lookahead);
+  // How the barrier leader computes the next window bound (see header).
+  // kAdaptive requires every cross-shard-emitting cascade root to be
+  // emitter-tagged (the city-slice harness does this; raw users that post
+  // untagged cross-shard sends must stay on kFixed).
+  enum class WindowBound { kFixed, kAdaptive };
+
+  ShardedSim(unsigned shards, SimDuration lookahead,
+             WindowBound bound = WindowBound::kFixed);
 
   ShardedSim(const ShardedSim&) = delete;
   ShardedSim& operator=(const ShardedSim&) = delete;
+
+  using ShardRouter::postToShard;
 
   // --- ShardRouter ----------------------------------------------------------
   unsigned shardCount() const override {
@@ -127,7 +168,10 @@ class ShardedSim : public ShardRouter {
   }
   Simulator& shardSim(unsigned shard) override { return *sims_[shard]; }
   SimDuration lookahead() const override { return lookahead_; }
-  void postToShard(unsigned shard, SimTime deliverAt, EventFn fn) override;
+  void postToShard(unsigned shard, SimTime deliverAt, EventFn fn,
+                   bool emitter) override;
+
+  WindowBound windowBoundMode() const { return boundMode_; }
 
   // Node->shard assignment (setup phase; see ShardMap for the rack rules).
   ShardMap& shardMap() { return map_; }
@@ -168,6 +212,24 @@ class ShardedSim : public ShardRouter {
   // Windows advanced on the light-weight sub-barrier (subset of
   // windowCount()).
   std::size_t reliefWindowCount() const { return reliefWindows_; }
+  // Windows where the adaptive ECSB bound was strictly wider than the fixed
+  // formula would have allowed (subset of windowCount(); 0 under kFixed).
+  std::size_t adaptiveWindowCount() const { return adaptiveWindows_; }
+  // Events fired per window, power-of-two buckets: [0], [1], [2,3], [4,7],
+  // ... — bucket i holds windows that fired in [2^(i-1), 2^i - 1] events,
+  // the last bucket everything beyond. The "is this run barrier-bound?"
+  // histogram; deterministic for a given (workload, shard count).
+  static constexpr std::size_t kWindowHistBuckets = 16;
+  const std::array<std::uint64_t, kWindowHistBuckets>& eventsPerWindowHist()
+      const {
+    return windowHist_;
+  }
+  // Wall-clock nanoseconds each shard's worker spent blocked at barriers
+  // (full-barrier waits + relief spins) across all run() calls. Wall time,
+  // NOT deterministic — keep it out of byte-compared dumps.
+  const std::vector<std::uint64_t>& shardStallNanos() const {
+    return stallNanos_;
+  }
   std::size_t pendingCount() const;
 
  private:
@@ -176,6 +238,11 @@ class ShardedSim : public ShardRouter {
     SimTime sentAt{};
     std::uint64_t srcSeq = 0;
     EventFn fn;
+  };
+  struct Drained {
+    MailMsg msg;
+    unsigned src;
+    unsigned dst;
   };
   // SPSC by construction: the source shard's worker appends during the
   // parallel phase; the barrier leader drains during the serial phase. The
@@ -199,8 +266,10 @@ class ShardedSim : public ShardRouter {
 
   ShardMap map_;
   SimDuration lookahead_;
+  WindowBound boundMode_ = WindowBound::kFixed;
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<Mailbox> mail_;
+  std::vector<Drained> drainScratch_;  // reused across serial phases
   InternDomain* domain_ = nullptr;  // adopted by workers for the run
   bool running_ = false;
 
@@ -217,21 +286,39 @@ class ShardedSim : public ShardRouter {
 
   std::size_t windows_ = 0;
   std::size_t crossMessages_ = 0;
+  std::size_t adaptiveWindows_ = 0;
+  std::array<std::uint64_t, kWindowHistBuckets> windowHist_{};
+  bool histPrimed_ = false;  // reset per run(); see recordWindowEvents()
 
-  // Sub-barrier state. Ordering contract: workers publish shardNext_[s] and
-  // any mailbox appends BEFORE the acq_rel arrival increment; the last
-  // arriver (sub-leader) therefore observes them all, writes the plain
-  // fields below, and publishes with the release epoch flip that the
-  // spinning workers acquire. reliefActive_/pendingCross_ are atomics only
-  // so the relaxed accesses outside those edges are race-free.
+  // Sub-barrier state. Ordering contract: workers publish shardNext_[s],
+  // shardEcsb_[s], shardWindowFired_[s] and any mailbox appends BEFORE the
+  // acq_rel arrival increment; the last arriver (sub-leader) therefore
+  // observes them all, writes the plain fields below, and publishes with
+  // the release epoch flip that the spinning workers acquire.
+  // reliefActive_/pendingCross_ are atomics only so the relaxed accesses
+  // outside those edges are race-free.
   unsigned reliefK_ = 8;
   std::atomic<bool> reliefActive_{false};
   std::atomic<std::size_t> pendingCross_{0};  // mailbox appends since drain
   std::atomic<unsigned> subArrived_{0};
   std::atomic<std::uint64_t> subEpoch_{0};
   std::vector<SimTime> shardNext_;  // per shard: nextEventTime at arrival
+  std::vector<SimTime> shardEcsb_;  // per shard: ECSB at arrival (adaptive)
   unsigned subLeft_ = 0;            // sub-windows remaining in this episode
   std::size_t reliefWindows_ = 0;
+
+  // Per-shard, own-worker-writes-only counters, read by the (sub-)leader
+  // under the barrier's ordering (see above) or after run() returns.
+  // shardWindowFired_[s]: events shard s fired in the window that just
+  // closed. outboundMin_[s]: earliest deliverAt shard s appended to any
+  // mailbox since the last drain (ECSB component (b); reset by the drain).
+  // stallNanos_[s]: cumulative wall-clock barrier wait.
+  std::vector<std::uint64_t> shardWindowFired_;
+  std::vector<SimTime> outboundMin_;
+  std::vector<std::uint64_t> stallNanos_;
+
+  // Leader-side helpers for the bound formula (see .cpp).
+  void recordWindowEvents();
 };
 
 }  // namespace microedge

@@ -5,21 +5,25 @@
 
 namespace microedge {
 
-EventId Simulator::schedule(SimTime when, Callback fn) {
+EventId Simulator::schedule(SimTime when, Callback fn, bool emitter) {
   assert(fn && "scheduling empty callback");
   if (when < now_) when = now_;
   const std::uint32_t si = acquireSlot();
   const std::uint64_t seq = nextSeq_++;
   Slot& s = slots_[si];
   s.seq = seq;
+  // Taint closure: anything an emitter's callback schedules is an emitter.
+  s.emitter = emitter || (firingSlot_ != kNpos && firingEmitter_);
   s.fn = std::move(fn);
   heapPush(si, when, seq);
+  if (s.emitter) emitterPush(when, seq, si);
   return EventId{seq, si};
 }
 
-EventId Simulator::scheduleAfter(SimDuration delay, Callback fn) {
+EventId Simulator::scheduleAfter(SimDuration delay, Callback fn,
+                                 bool emitter) {
   if (delay < SimDuration::zero()) delay = SimDuration::zero();
-  return schedule(now_ + delay, std::move(fn));
+  return schedule(now_ + delay, std::move(fn), emitter);
 }
 
 EventId Simulator::rearmCurrentAfter(SimDuration delay) {
@@ -52,6 +56,22 @@ void Simulator::cancel(EventId id) {
   releaseSlot(id.slot);
 }
 
+void Simulator::taintEvent(EventId id) {
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.seq != id.seq || s.emitter) return;  // stale or already tagged
+  s.emitter = true;
+  if (id.slot == firingSlot_) {
+    // Tainted mid-fire: children scheduled from here on inherit.
+    firingEmitter_ = true;
+    return;
+  }
+  const std::uint32_t pos = slotPos_[id.slot];
+  if (pos == kNpos) return;
+  const std::vector<HeapEntry>& h = (pos & kFarBit) ? far_ : heap_;
+  emitterPush(h[pos & ~kFarBit].when, s.seq, id.slot);
+}
+
 // Returns the heap whose root is the globally next event under (when, seq).
 // The far heap holds events that were distant when scheduled, but time
 // advances: once everything nearer has fired, the far root IS the next
@@ -60,6 +80,32 @@ const std::vector<Simulator::HeapEntry>* Simulator::nextHeap() const {
   if (far_.empty()) return heap_.empty() ? nullptr : &heap_;
   if (heap_.empty()) return &far_;
   return before(far_[0], heap_[0]) ? &far_ : &heap_;
+}
+
+void Simulator::emitterPush(SimTime when, std::uint64_t seq,
+                            std::uint32_t slot) {
+  if (!trackEmitters_) return;
+  emitters_.push_back(EmitterEntry{when, seq, slot});
+  std::push_heap(emitters_.begin(), emitters_.end(), emitterAfter);
+}
+
+SimTime Simulator::nextEmitterTime() {
+  // Without the side-index every event is conservatively an emitter —
+  // sound (the bound degenerates to the fixed-window one), never stale.
+  if (!trackEmitters_) return nextEventTime();
+  assert(firingSlot_ == kNpos &&
+         "nextEmitterTime is a between-events (barrier) query");
+  while (!emitters_.empty()) {
+    const EmitterEntry& top = emitters_.front();
+    // Live iff the slot still holds this seq: fired, cancelled and recycled
+    // entries all fail the comparison (seqs are never reused).
+    if (top.slot < slots_.size() && slots_[top.slot].seq == top.seq) {
+      return top.when;
+    }
+    std::pop_heap(emitters_.begin(), emitters_.end(), emitterAfter);
+    emitters_.pop_back();
+  }
+  return SimTime::max();
 }
 
 bool Simulator::fireNext() {
@@ -79,15 +125,19 @@ bool Simulator::fireNext() {
   // recycled slot.
   slotPos_[si] = kNpos;
   firingSlot_ = si;
+  firingEmitter_ = slots_[si].emitter;
   rearmPending_ = false;
   fn();
   if (rearmPending_) {
     rearmPending_ = false;
-    // Re-fetch: the callback may have grown slots_.
+    // Re-fetch: the callback may have grown slots_. The re-arm inherits the
+    // firing event's emitter taint (s.emitter is untouched): a tagged
+    // periodic tick stays tagged for the whole life of the task.
     Slot& s = slots_[si];
     s.fn = std::move(fn);
     s.seq = rearmSeq_;
     heapPush(si, rearmWhen_, rearmSeq_);
+    if (s.emitter) emitterPush(rearmWhen_, rearmSeq_, si);
   } else {
     releaseSlot(si);
   }
@@ -142,6 +192,7 @@ void Simulator::releaseSlot(std::uint32_t si) {
   Slot& s = slots_[si];
   s.fn = EventFn();  // destroy the payload now, not at reuse time
   s.seq = 0;
+  s.emitter = false;
   s.nextFree = freeHead_;
   slotPos_[si] = kNpos;
   freeHead_ = si;
@@ -281,7 +332,7 @@ bool Simulator::checkInvariants() const {
 void PeriodicTask::startAt(SimTime first) {
   stop();
   running_ = true;
-  next_ = sim_.schedule(first, [this] { fire(); });
+  next_ = sim_.schedule(first, [this] { fire(); }, emitter_);
 }
 
 void PeriodicTask::stop() {

@@ -35,6 +35,22 @@
 // and determinism are unchanged whatever the threshold, cancel() finds
 // either tier through a tagged position index, and a far event simply fires
 // from its own heap when its time comes.
+//
+// Emitter taint (for the sharded sim's adaptive window bound, DESIGN.md
+// §12): an event may be tagged as an *emitter* — one whose callback might,
+// transitively, send a cross-shard message. The taint is closed under
+// scheduling: any event scheduled (or re-armed) from inside an emitter's
+// callback is an emitter too, so callers only tag the ROOTS of potentially
+// cross-shard cascades (cross-rack camera ticks, fault-plan events, drained
+// mailbox deliveries) and the engine propagates the bit through arbitrarily
+// deep event chains. nextEmitterTime() reports the earliest pending emitter
+// across BOTH tiers — the shard's earliest-cross-shard-send bound (ECSB) —
+// via a lazy side min-heap: tagged schedules push an entry, fired/cancelled
+// entries are detected by seq mismatch and purged only when they surface at
+// the top. The side heap is maintained only under setEmitterTracking(true)
+// (the sharded adaptive mode); otherwise the bit still propagates (one bool
+// per slot) but costs nothing and nextEmitterTime() degrades to the always-
+// sound nextEventTime().
 
 #include <cassert>
 #include <cstdint>
@@ -68,9 +84,12 @@ class Simulator {
   SimTime now() const { return now_; }
 
   // Schedules `fn` at absolute simulated time `when` (must be >= now()).
-  EventId schedule(SimTime when, Callback fn);
+  // `emitter` tags the event as a cross-shard-emitting root (see header);
+  // events scheduled from inside an emitter's callback inherit the tag
+  // regardless of the argument.
+  EventId schedule(SimTime when, Callback fn, bool emitter = false);
   // Schedules `fn` after `delay` (clamped to >= 0).
-  EventId scheduleAfter(SimDuration delay, Callback fn);
+  EventId scheduleAfter(SimDuration delay, Callback fn, bool emitter = false);
   // Re-arms the callback that is currently firing: callable only from inside
   // an event callback, it re-schedules that same callback `delay` from now
   // by re-using its event slot — no new closure is constructed and nothing
@@ -82,6 +101,14 @@ class Simulator {
   // no-op (lifecycle races are normal: a pod may die while its next frame
   // event is in flight).
   void cancel(EventId id);
+  // Retroactively tags a pending event as an emitter (see header). For
+  // deferred-work structures whose wakeup event was scheduled before the
+  // cross-shard work arrived — e.g. a device FIFO whose in-flight
+  // completion was scheduled untagged and now has an emitter job queued
+  // behind it: tainting the wakeup keeps the chain visible to the adaptive
+  // bound (its cascade then starts the queued job tagged by inheritance).
+  // Stale / fired / already-tagged ids are a no-op.
+  void taintEvent(EventId id);
 
   // Runs until the event queue drains. Returns the number of events fired.
   std::size_t run();
@@ -98,6 +125,27 @@ class Simulator {
     const std::vector<HeapEntry>* h = nextHeap();
     return h != nullptr ? (*h)[0].when : SimTime::max();
   }
+  // Earliest pending *emitter* event across both tiers, SimTime::max() when
+  // none — the shard's ECSB under the adaptive window bound. Purges stale
+  // side-heap entries lazily, hence non-const; callable only between events
+  // (the sharded barrier), never from inside a firing callback. Without
+  // emitter tracking this conservatively degrades to nextEventTime().
+  SimTime nextEmitterTime();
+  // Enables the emitter side-heap. Must be flipped while no events are
+  // pending (already-scheduled emitters would be invisible to the index and
+  // the adaptive bound would be unsound); the ShardedSim constructor does it
+  // before any actor schedules.
+  void setEmitterTracking(bool on) {
+    assert((!on || pendingCount() == 0) &&
+           "emitter tracking enabled with events already pending");
+    trackEmitters_ = on;
+  }
+  bool emitterTracking() const { return trackEmitters_; }
+  // True while the currently-firing callback is an emitter: actors that
+  // carry work across cascades through their own state (the TPU device
+  // FIFO) capture this at enqueue time and re-assert it on the event that
+  // resumes the work.
+  bool firingEmitter() const { return firingSlot_ != kNpos && firingEmitter_; }
   // Window execution for the sharded simulation: fires every event with
   // timestamp strictly < `bound`, then advances now() to `advanceTo`
   // (callers pass advanceTo <= bound; events at exactly `bound` stay
@@ -128,6 +176,7 @@ class Simulator {
   struct Slot {
     std::uint64_t seq = 0;  // 0 while on the free list
     std::uint32_t nextFree = kNpos;
+    bool emitter = false;  // may transitively send cross-shard (see header)
     EventFn fn;
   };
 
@@ -207,21 +256,45 @@ class Simulator {
   // slot stays reserved (off both heap and free list) for the duration of
   // the call so rearmCurrentAfter() can re-use it.
   std::uint32_t firingSlot_ = kNpos;
+  bool firingEmitter_ = false;
   bool rearmPending_ = false;
   SimTime rearmWhen_{};
   std::uint64_t rearmSeq_ = 0;
+
+  // Emitter side-index: a plain std::push_heap/pop_heap min-heap over
+  // (when, seq). Entries are never removed eagerly — an entry is live iff
+  // its slot still holds the same seq (seqs are globally unique, so the
+  // check is exact) — and stale tops are purged lazily by
+  // nextEmitterTime(). Amortized O(log n) per tagged schedule.
+  struct EmitterEntry {
+    SimTime when{};
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+  };
+  static bool emitterAfter(const EmitterEntry& a, const EmitterEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+  void emitterPush(SimTime when, std::uint64_t seq, std::uint32_t slot);
+
+  bool trackEmitters_ = false;
+  std::vector<EmitterEntry> emitters_;
 };
 
 // Fires a callback every `period` starting at `start` until stopped or the
 // owner is destroyed. Used for camera frame generation, the reclamation
 // poller and utilization sampling. The tick closure is constructed once at
 // start; each period re-arms the same event slot (no per-period allocation).
+// An `emitter` task tags every tick as a cross-shard-emitting root (the
+// first tick explicitly, the re-arms by taint inheritance): this is how a
+// cross-rack camera stream keeps the adaptive window bound honest.
 class PeriodicTask {
  public:
   using Callback = EventFn;
 
-  PeriodicTask(Simulator& sim, SimDuration period, Callback fn)
-      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  PeriodicTask(Simulator& sim, SimDuration period, Callback fn,
+               bool emitter = false)
+      : sim_(sim), period_(period), fn_(std::move(fn)), emitter_(emitter) {}
   ~PeriodicTask() { stop(); }
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
@@ -240,6 +313,7 @@ class PeriodicTask {
   Callback fn_;
   EventId next_{};
   bool running_ = false;
+  bool emitter_ = false;
 };
 
 }  // namespace microedge

@@ -11,9 +11,16 @@
 //    (TPU hosts) and vRPis (camera hosts) always land on the same shard, so
 //    rack-local traffic — the common case the paper's deployment optimizes
 //    for — never crosses a shard boundary and keeps the solo code path.
-//  * Racks distribute round-robin: shardOfRack(r) = r % shards. Any
-//    rack-count / shard-count combination is legal; shards without racks
-//    simply idle at the window barrier.
+//  * Racks distribute round-robin by default: shardOfRack(r) = r % shards.
+//    Any rack-count / shard-count combination is legal; shards without
+//    racks simply idle at the window barrier.
+//  * RackMapping::kBlock instead assigns contiguous rack blocks per shard
+//    (racks [0, ceil(R/S)) to shard 0, the next block to shard 1, ...).
+//    Neighbouring racks then share a shard, so stride-to-next-rack traffic
+//    (the city-slice cross-rack streams) crosses shards only at block
+//    boundaries — the locality the adaptive window bound turns into wide
+//    windows. Results are invariant to the mapping (the same argument as
+//    shard-count invariance: the mapping only partitions the event set).
 //  * Nodes without a rack-structured name ("r<k>-..."), e.g. the flat
 //    trpi-/vrpi- reference cluster, map to shard 0.
 
@@ -25,11 +32,23 @@
 
 namespace microedge {
 
+// How racks distribute over shards (see header comment).
+enum class RackMapping { kRoundRobin, kBlock };
+
 class ShardMap {
  public:
   explicit ShardMap(unsigned shards = 1) : shards_(shards < 1 ? 1 : shards) {}
 
   unsigned shards() const { return shards_; }
+
+  // Selects the rack->shard policy. kBlock needs the total rack count to
+  // size its blocks; call before any assignByName()/shardOfRack() use (the
+  // mapping must be fixed for the life of the run).
+  void setRackMapping(RackMapping mapping, int rackCount = 0) {
+    mapping_ = mapping;
+    rackCount_ = rackCount < 1 ? 1 : rackCount;
+  }
+  RackMapping rackMapping() const { return mapping_; }
 
   // Records `node`'s owner. Handles are dense, so the backing vector grows
   // to the interner's high-water mark and lookups stay O(1).
@@ -47,7 +66,15 @@ class ShardMap {
   }
 
   unsigned shardOfRack(int rack) const {
-    return rack < 0 ? 0 : static_cast<unsigned>(rack) % shards_;
+    if (rack < 0) return 0;
+    const unsigned r = static_cast<unsigned>(rack);
+    if (mapping_ == RackMapping::kRoundRobin) return r % shards_;
+    // kBlock: contiguous blocks of ceil(rackCount / shards); racks past the
+    // declared count (defensive) clamp to the last shard.
+    const unsigned block =
+        (static_cast<unsigned>(rackCount_) + shards_ - 1) / shards_;
+    const unsigned shard = r / block;
+    return shard < shards_ ? shard : shards_ - 1;
   }
 
   // Rack index from a rack-structured node name "r<k>-<rest>"; -1 for flat
@@ -58,6 +85,8 @@ class ShardMap {
 
  private:
   unsigned shards_;
+  RackMapping mapping_ = RackMapping::kRoundRobin;
+  int rackCount_ = 1;
   std::vector<std::uint32_t> shardOfNode_;
   std::size_t mapped_ = 0;
 };

@@ -82,9 +82,13 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
   const int racks = config_.racks;
 
   sharded_ = std::make_unique<ShardedSim>(config_.shards,
-                                          config_.networkConfig.baseLatency);
+                                          config_.networkConfig.baseLatency,
+                                          config_.windowBound);
   sharded_->setBarrierRelief(config_.barrierRelief);
   ShardMap& map = sharded_->shardMap();
+  // Placement policy must be fixed before the first shardOfName() — the
+  // topology factory below resolves each node's owner sim through it.
+  map.setRackMapping(config_.rackMapping, racks);
 
   TopologySpec spec;
   spec.racks = racks;
@@ -149,7 +153,24 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
                            ? config_.tpuUnits
                            : zoo_.at(config_.model).tpuUnitsAt(config_.fps);
   const SimDuration period = secondsF(1.0 / config_.fps);
-  std::vector<RpiNode*> cameras = topology_->vRpis();
+  // Camera host list: every vRPi `streamsPerVRpi` times, then every tRPi
+  // `streamsPerTRpi` times. The default (1, 0) is byte-identical to the
+  // historical one-stream-per-vRPi workload — same hosts, uids and phases.
+  std::vector<RpiNode*> cameras;
+  {
+    const std::vector<RpiNode*> vRpis = topology_->vRpis();
+    const std::vector<RpiNode*> tRpis = topology_->tRpis();
+    const int perV = config_.streamsPerVRpi < 0 ? 0 : config_.streamsPerVRpi;
+    const int perT = config_.streamsPerTRpi < 0 ? 0 : config_.streamsPerTRpi;
+    cameras.reserve(vRpis.size() * static_cast<std::size_t>(perV) +
+                    tRpis.size() * static_cast<std::size_t>(perT));
+    for (RpiNode* host : vRpis) {
+      for (int k = 0; k < perV; ++k) cameras.push_back(host);
+    }
+    for (RpiNode* host : tRpis) {
+      for (int k = 0; k < perT; ++k) cameras.push_back(host);
+    }
+  }
   const int total = static_cast<int>(cameras.size());
   streams_.reserve(cameras.size());
   for (int i = 0; i < total; ++i) {
@@ -210,10 +231,20 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
 
     Stream* raw = stream.get();
     Simulator& sim = sharded_->shardSim(stream->shard);
-    stream->task = std::make_unique<PeriodicTask>(sim, period, [raw] {
-      (void)raw->client->invoke(
-          [raw](const FrameBreakdown& b) { raw->fold(b); });
-    });
+    // Emitter-tag only streams whose target rack lives on ANOTHER shard:
+    // their frame cascades are the steady-state source of cross-shard sends,
+    // so the adaptive window bound must see them (sim/sharded_sim.hpp).
+    // Same-shard cross-rack streams stay untagged — tagging them would pin
+    // the ECSB to every frame tick and erase the adaptive win.
+    const bool crossShard =
+        cross && map.shardOfRack(targetRack) != stream->shard;
+    stream->task = std::make_unique<PeriodicTask>(
+        sim, period,
+        [raw] {
+          (void)raw->client->invoke(
+              [raw](const FrameBreakdown& b) { raw->fold(b); });
+        },
+        crossShard);
     // Stagger camera phases so no two frames in the cluster ever share a
     // timestamp: the global event order — and with it every breakdown — is
     // then independent of how shards interleave.
@@ -270,17 +301,25 @@ void ShardedCluster::armTpuFailure(const std::string& tpuId, SimTime at,
   int rack = ShardMap::rackOfName(tpuId);
   if (rack < 0) rack = 0;
   RackControl* rc = racks_[static_cast<std::size_t>(rack)].get();
+  // Fault roots are armed at setup, outside any firing cascade, so each is
+  // emitter-tagged explicitly: their cascades (failure broadcast, recovery
+  // pushes, evictions) are exactly the rare cross-shard control traffic the
+  // adaptive window bound must account for.
   // Data-plane edge at t, on the TPU's owner shard: the service vanishes,
   // local clients fail over instantly, other shards notice +lookahead.
-  sharded_->postToShard(rc->shard, at,
-                        [this, tpuId] { dataPlane_->removeService(tpuId); });
+  sharded_->postToShard(
+      rc->shard, at, [this, tpuId] { dataPlane_->removeService(tpuId); },
+      /*emitter=*/true);
   // Control-plane edge at t + detectionDelay, same shard (the rack's
   // control plane is rack-local): pool removal + replan/evict.
-  sharded_->postToShard(rc->shard, at + detectionDelay, [rc, tpuId] {
-    Status removed = rc->pool.removeTpu(tpuId);
-    if (!removed.isOk()) return;  // already failed by an earlier event
-    (void)rc->recovery->onTpuFailure(tpuId);
-  });
+  sharded_->postToShard(
+      rc->shard, at + detectionDelay,
+      [rc, tpuId] {
+        Status removed = rc->pool.removeTpu(tpuId);
+        if (!removed.isOk()) return;  // already failed by an earlier event
+        (void)rc->recovery->onTpuFailure(tpuId);
+      },
+      /*emitter=*/true);
 }
 
 void ShardedCluster::armFaults(const FaultPlan& plan) {
@@ -303,15 +342,20 @@ void ShardedCluster::armFaults(const FaultPlan& plan) {
         break;
       case FaultKind::kTpuHang: {
         const unsigned shard = shardOfName(topology_->nodeOfTpu(event.target));
-        sharded_->postToShard(shard, at, [this, id = event.target] {
-          TpuService* service = dataPlane_->service(id);
-          if (service != nullptr) service->setHung(true);
-        });
         sharded_->postToShard(
-            shard, at + event.duration, [this, id = event.target] {
+            shard, at,
+            [this, id = event.target] {
+              TpuService* service = dataPlane_->service(id);
+              if (service != nullptr) service->setHung(true);
+            },
+            /*emitter=*/true);
+        sharded_->postToShard(
+            shard, at + event.duration,
+            [this, id = event.target] {
               TpuService* service = dataPlane_->service(id);
               if (service != nullptr) service->setHung(false);
-            });
+            },
+            /*emitter=*/true);
         break;
       }
       case FaultKind::kTransportLoss:
@@ -328,13 +372,16 @@ void ShardedCluster::armFaults(const FaultPlan& plan) {
         // identical at every shard count, including for cross-shard frames.
         for (unsigned s = 0; s < sharded_->shardCount(); ++s) {
           sharded_->postToShard(
-              s, at, [this, s, loss, multiplier, seed = plan.seed] {
+              s, at,
+              [this, s, loss, multiplier, seed = plan.seed] {
                 dataPlane_->transport().setFaultOnLane(s, loss, multiplier,
                                                        seed);
-              });
-          sharded_->postToShard(s, at + event.duration, [this, s] {
-            dataPlane_->transport().clearFaultOnLane(s);
-          });
+              },
+              /*emitter=*/true);
+          sharded_->postToShard(
+              s, at + event.duration,
+              [this, s] { dataPlane_->transport().clearFaultOnLane(s); },
+              /*emitter=*/true);
         }
         break;
       }
@@ -386,7 +433,7 @@ std::uint64_t ShardedCluster::digest() const {
   return h;
 }
 
-std::string ShardedCluster::metricsJson() const {
+std::string ShardedCluster::metricsJson(bool withSimStats) const {
   std::string out = strCat("{\n  \"streams\": [");
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const StreamStats stats = streamStats(i);
@@ -402,7 +449,31 @@ std::string ShardedCluster::metricsJson() const {
   }
   out += strCat("\n  ],\n  \"totalSubmitted\": ", totalSubmitted(),
                 ",\n  \"totalCompleted\": ", totalCompleted(),
-                ",\n  \"digest\": ", digest(), "\n}\n");
+                ",\n  \"digest\": ", digest());
+  if (withSimStats) {
+    // Opt-in: window counts vary with shard count / window mode and stall
+    // time is wall-clock — none of it may leak into the byte-compared
+    // default dump (see header).
+    out += strCat(",\n  \"sim\": {\n    \"windows\": ",
+                  sharded_->windowCount(),
+                  ",\n    \"reliefWindows\": ", sharded_->reliefWindowCount(),
+                  ",\n    \"adaptiveWindows\": ",
+                  sharded_->adaptiveWindowCount(),
+                  ",\n    \"crossShardMessages\": ",
+                  sharded_->crossShardMessages(),
+                  ",\n    \"eventsPerWindowHist\": [");
+    const auto& hist = sharded_->eventsPerWindowHist();
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+      out += strCat(b == 0 ? "" : ", ", hist[b]);
+    }
+    out += "],\n    \"perShardStallNanos\": [";
+    const auto& stalls = sharded_->shardStallNanos();
+    for (std::size_t s = 0; s < stalls.size(); ++s) {
+      out += strCat(s == 0 ? "" : ", ", stalls[s]);
+    }
+    out += "]\n  }";
+  }
+  out += "\n}\n";
   return out;
 }
 

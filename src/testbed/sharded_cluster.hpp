@@ -61,6 +61,24 @@ struct ShardedClusterConfig {
   int tRpisPerRack = 2;
   int vRpisPerRack = 4;
   int tpusPerTRpi = 1;
+  // Camera streams hosted per RPi. vRPis are the classic camera hosts;
+  // tRPis can host streams too (they are full RPis that happen to carry
+  // TPUs) — that is what grids the 10k-node city slice out to 100k+
+  // streams without growing the node count. Stream order: all vRPi
+  // streams (host-major), then all tRPi streams, so the default
+  // (1 per vRPi, 0 per tRPi) reproduces the historical stream set, uids
+  // and phases exactly.
+  int streamsPerVRpi = 1;
+  int streamsPerTRpi = 0;
+  // Window-bound mode for the sharded run (fire traces are identical in
+  // both; kAdaptive widens windows on the ECSB — see sim/sharded_sim.hpp).
+  // The harness emitter-tags every cross-shard cascade root, which is what
+  // makes kAdaptive sound here.
+  ShardedSim::WindowBound windowBound = ShardedSim::WindowBound::kFixed;
+  // Rack->shard placement policy. kBlock keeps stride-to-next-rack streams
+  // shard-local except at block boundaries, which is what gives the
+  // adaptive bound its long emitter-free stretches.
+  RackMapping rackMapping = RackMapping::kRoundRobin;
   std::string model = "mobilenet-v1";
   double fps = 15.0;
   // 0 => profile from the model's zoo service time at `fps`.
@@ -129,8 +147,13 @@ class ShardedCluster {
   // any shard count) must agree on.
   std::uint64_t digest() const;
   // Deterministic serialization of the full result surface (per-stream and
-  // totals) — what the CI determinism smoke byte-compares.
-  std::string metricsJson() const;
+  // totals) — what the CI determinism smoke byte-compares. With
+  // `withSimStats`, appends a "sim" section (windows advanced, relief/
+  // adaptive windows, events-per-window histogram, per-shard barrier stall
+  // wall-nanos). The section is opt-in because window counts differ by
+  // shard count/window mode and stall time is wall-clock — none of it
+  // belongs in the byte-compared default dump.
+  std::string metricsJson(bool withSimStats = false) const;
 
  private:
   struct Stream;

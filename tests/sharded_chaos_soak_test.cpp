@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/fault_injector.hpp"
+#include "sim/sharded_sim.hpp"
 #include "testbed/sharded_cluster.hpp"
 
 namespace microedge {
@@ -62,12 +63,18 @@ struct SoakResult {
   std::uint64_t lost = 0;  // submitted but terminated non-completed
 };
 
-SoakResult runSoak(std::uint64_t seed) {
-  ShardedCluster probe(soakConfig());
+SoakResult runSoak(
+    std::uint64_t seed,
+    ShardedSim::WindowBound mode = ShardedSim::WindowBound::kFixed,
+    unsigned crossRackStride = 0) {
+  ShardedClusterConfig config = soakConfig();
+  config.windowBound = mode;
+  config.crossRackStride = crossRackStride;
+  ShardedCluster probe(config);
   EXPECT_TRUE(probe.setupStatus().isOk()) << probe.setupStatus().toString();
   const FaultPlan plan = planForSeed(seed, probe);
 
-  ShardedCluster cluster(soakConfig());
+  ShardedCluster cluster(config);
   EXPECT_TRUE(cluster.setupStatus().isOk());
   cluster.armFaults(plan);
   cluster.run(seconds(4));
@@ -116,6 +123,29 @@ TEST(ShardedChaosSoak, InvariantsAndReplayDeterminism) {
   // A benign draw can cost nothing for one seed, but across the seed set
   // the chaos must have bitten somewhere.
   EXPECT_GT(lostAcrossSeeds, 0u);
+}
+
+TEST(ShardedChaosSoak, AdaptiveBoundBitForBitUnderChaos) {
+  // The adaptive window bound is pure scheduling even while faults fly: for
+  // a seeded fault plan the fixed and adaptive runs must be bit-identical
+  // (digest + serialized metrics). Covered both without cross-rack streams
+  // (cross-shard traffic only from failover) and with them (cross-shard
+  // frames, NACKs and retries crossing fault windows mid-flight). TSan CI
+  // runs this under the race detector via the chaos label.
+  const struct {
+    std::uint64_t seed;
+    unsigned stride;
+  } cases[] = {{11, 0}, {47, 3}};
+  for (const auto& c : cases) {
+    const SoakResult fixedRun =
+        runSoak(c.seed, ShardedSim::WindowBound::kFixed, c.stride);
+    const SoakResult adaptiveRun =
+        runSoak(c.seed, ShardedSim::WindowBound::kAdaptive, c.stride);
+    EXPECT_EQ(fixedRun.metrics, adaptiveRun.metrics)
+        << "seed=" << c.seed << " stride=" << c.stride;
+    EXPECT_EQ(fixedRun.digest, adaptiveRun.digest)
+        << "seed=" << c.seed << " stride=" << c.stride;
+  }
 }
 
 TEST(ShardedChaosSoak, DistinctSeedsDiverge) {

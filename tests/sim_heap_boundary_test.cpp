@@ -147,6 +147,45 @@ TEST(SimHeapBoundary, PeriodicRearmLandsPerBoundary) {
   nearTask.stop();
 }
 
+TEST(SimHeapBoundary, EmitterBoundSeesFarEvents) {
+  Simulator sim;
+  sim.setEmitterTracking(true);
+  const SimTime start = sim.now();
+  // Untagged events — near or far — are invisible to the emitter bound.
+  sim.schedule(start + milliseconds(100), [] {});
+  sim.schedule(start + milliseconds(1), [] {});
+  EXPECT_EQ(sim.nextEmitterTime(), SimTime::max());
+  // A tagged far event is visible: the side heap spans both tiers.
+  sim.schedule(start + milliseconds(200), [] {}, /*emitter=*/true);
+  EXPECT_EQ(sim.nextEmitterTime(), start + milliseconds(200));
+  // A nearer tagged near event takes over the bound.
+  EventId nearTagged =
+      sim.schedule(start + milliseconds(2), [] {}, /*emitter=*/true);
+  EXPECT_EQ(sim.nextEmitterTime(), start + milliseconds(2));
+  // Cancelled entries are purged lazily when they surface at the top.
+  sim.cancel(nearTagged);
+  EXPECT_EQ(sim.nextEmitterTime(), start + milliseconds(200));
+}
+
+TEST(SimHeapBoundary, RetroactiveTaintOfFarEntry) {
+  Simulator sim;
+  sim.setEmitterTracking(true);
+  const SimTime start = sim.now();
+  EventId far = sim.schedule(start + milliseconds(100), [] {});
+  ASSERT_EQ(sim.farCount(), 1u);
+  EXPECT_EQ(sim.nextEmitterTime(), SimTime::max());
+  // taintEvent must locate the slot through its far-tagged heap position.
+  sim.taintEvent(far);
+  EXPECT_EQ(sim.nextEmitterTime(), start + milliseconds(100));
+  // Idempotent while pending, and a stale id after firing is a no-op.
+  sim.taintEvent(far);
+  EXPECT_EQ(sim.nextEmitterTime(), start + milliseconds(100));
+  sim.run();
+  EXPECT_EQ(sim.nextEmitterTime(), SimTime::max());
+  sim.taintEvent(far);
+  EXPECT_EQ(sim.nextEmitterTime(), SimTime::max());
+}
+
 TEST(SimHeapBoundary, RunBeforeRespectsBoundAcrossHeaps) {
   Simulator sim;
   const SimTime start = sim.now();

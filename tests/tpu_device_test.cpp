@@ -201,5 +201,36 @@ TEST_F(TpuDeviceTest, LoadQueuesBehindInFlightInference) {
   EXPECT_FALSE(tpu_.isResident(zoo::kEfficientNetLite0));
 }
 
+TEST_F(TpuDeviceTest, QueuedEmitterJobTaintsInFlightCompletion) {
+  sim_.setEmitterTracking(true);
+  loadAndSettle({zoo::kMobileNetV1});
+  const SimTime start = sim_.now();
+  const SimTime firstDone = start + zoo_.at(zoo::kMobileNetV1).inferenceLatency;
+  // Untagged in-flight inference: its completion is not an emitter.
+  ASSERT_TRUE(tpu_.invoke(zoo::kMobileNetV1, nullptr).isOk());
+  EXPECT_EQ(sim_.nextEmitterTime(), SimTime::max());
+  // From a tagged cascade, queue a second job behind it. The queued job has
+  // no event of its own yet, so the device must retroactively taint the
+  // in-flight completion — otherwise the emitter bound would miss the whole
+  // FIFO chain (the deferred-work hazard, DESIGN.md §12).
+  bool doneWasEmitter = false;
+  sim_.schedule(
+      start + microseconds(1),
+      [&] {
+        ASSERT_TRUE(tpu_.invoke(zoo::kMobileNetV1,
+                                [&](const TpuDevice::InvokeStats&) {
+                                  doneWasEmitter = sim_.firingEmitter();
+                                })
+                        .isOk());
+      },
+      /*emitter=*/true);
+  sim_.runUntil(start + microseconds(2));
+  // The (tainted) in-flight completion is now the earliest emitter.
+  EXPECT_EQ(sim_.nextEmitterTime(), firstDone);
+  sim_.run();
+  // The queued job's completion inherited the tag through the cascade.
+  EXPECT_TRUE(doneWasEmitter);
+}
+
 }  // namespace
 }  // namespace microedge
