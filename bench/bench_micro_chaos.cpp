@@ -32,6 +32,7 @@
 #include "dataplane/dataplane.hpp"
 #include "models/zoo.hpp"
 #include "sim/fault_injector.hpp"
+#include "testbed/degradation.hpp"
 #include "util/strings.hpp"
 
 // --- Counting allocator ------------------------------------------------------
@@ -288,6 +289,268 @@ void BM_ChaosSteadyAllocFree(benchmark::State& state) {
   state.counters["allocs_per_frame"] = benchmark::Counter(0.0);
 }
 BENCHMARK(BM_ChaosSteadyAllocFree);
+
+// --- Overload axis -----------------------------------------------------------
+// Open-loop offered load at 1x/1.5x/2x of analytic capacity, across the
+// overload-control policies (DESIGN.md §14). Where the chaos fixture above
+// is closed-loop (each completion pumps the next frame, so offered load
+// self-limits), these streams submit on a fixed PeriodicTask clock — the
+// only way to actually oversubscribe the devices and see what each policy
+// does with the excess. BENCH_OVERLOAD=1 bench/run_bench.sh emits the grid
+// to BENCH_overload.json; EXPERIMENTS.md plots the goodput-vs-offered-load
+// curves from it.
+//
+//   none    — HEAD's seed behaviour (no deadline): every frame queues and
+//             eventually completes, but past 1x the queue grows without
+//             bound and completions arrive too late to meet the nominal
+//             deadline — goodput collapses;
+//   shed    — deadline + arrival shedding: devices stay busy, goodput holds,
+//             but the excess still costs a slab slot and a request hop
+//             before being dropped at the service;
+//   admit   — per-frame admission ledger: the excess is rejected at submit
+//             for the price of a stack breakdown;
+//   degrade — admission + fps-ladder degradation: the offered load itself
+//             steps down to the sustainable rung, so the steady state has
+//             (almost) nothing left to reject.
+
+enum class Policy { kNone, kShed, kAdmit, kDegrade };
+
+constexpr int kOvTpus = 4;
+constexpr int kOvStreams = 8;
+constexpr int kOvDeadlineMs = 60;
+
+const char* policyName(Policy p) {
+  switch (p) {
+    case Policy::kNone: return "none";
+    case Policy::kShed: return "shed";
+    case Policy::kAdmit: return "admit";
+    case Policy::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+struct OverloadStream {
+  TpuClient* client = nullptr;
+  SimDuration nominalDeadline{};
+  std::unique_ptr<PeriodicTask> task;
+  std::unique_ptr<StreamDegrader> degrader;
+  std::uint64_t terminated = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadlineMet = 0;  // completed within the NOMINAL deadline
+
+  void onDone(const FrameBreakdown& b) {
+    ++terminated;
+    if (b.outcome == FrameOutcome::kCompleted) {
+      ++completed;
+      // Policy kNone has no configured deadline, so "goodput" is judged
+      // against the nominal bound the other policies enforce.
+      if (b.endToEnd() <= nominalDeadline) ++deadlineMet;
+    }
+    if (degrader) degrader->onFrame();
+  }
+};
+
+struct OverloadFixture {
+  ModelRegistry zoo;
+  Simulator sim;
+  ClusterTopology topo;
+  DataPlane dataPlane;
+  std::vector<std::unique_ptr<TpuClient>> clients;
+  std::vector<std::unique_ptr<OverloadStream>> streams;
+  double capacityFps = 0;  // analytic: kOvTpus / inference latency
+  double offeredFps = 0;
+
+  static TopologySpec spec() {
+    TopologySpec s;
+    s.vRpiCount = kOvStreams;
+    s.tRpiCount = kOvTpus;
+    return s;
+  }
+
+  OverloadFixture(Policy policy, double loadFactor)
+      : zoo(zoo::standardZoo()), topo(sim, zoo, spec()),
+        dataPlane(sim, topo, zoo) {
+    LbConfig lb;
+    for (int t = 0; t < kOvTpus; ++t) {
+      const std::string tpuId = indexName("tpu-", t);
+      LoadCommand load{tpuId, {zoo::kMobileNetV1}, {}};
+      if (!dataPlane.executeLoad(load).isOk()) std::abort();
+      // Weight doubles as the admission capacity line: each stream owns
+      // 1/kOvStreams of every TPU — 4 x 125 milli == half a device.
+      lb.weights.push_back(LbWeight{tpuId, 1000 / kOvStreams});
+    }
+    sim.run();
+    const SimDuration inference = zoo.at(zoo::kMobileNetV1).inferenceLatency;
+    capacityFps = static_cast<double>(kOvTpus) * 1e9 /
+                  static_cast<double>(inference.count());
+    offeredFps = loadFactor * capacityFps;
+    const double perStreamFps = offeredFps / kOvStreams;
+    const SimDuration period = framePeriod(perStreamFps);
+
+    for (int i = 0; i < kOvStreams; ++i) {
+      TpuClient::Config config;
+      config.clientNode = indexName("vrpi-", i);
+      config.model = zoo::kMobileNetV1;
+      if (policy != Policy::kNone) {
+        config.frameDeadline = milliseconds(kOvDeadlineMs);
+        config.maxFailovers = 1;
+      }
+      if (policy == Policy::kAdmit || policy == Policy::kDegrade) {
+        config.admission.enabled = true;
+        config.admission.overcommit = 1.0;
+      }
+      clients.push_back(dataPlane.makeClient(std::move(config)));
+      if (!clients.back()->configureLb(lb).isOk()) std::abort();
+
+      auto stream = std::make_unique<OverloadStream>();
+      stream->client = clients.back().get();
+      stream->nominalDeadline = milliseconds(kOvDeadlineMs);
+      OverloadStream* raw = stream.get();
+      stream->task = std::make_unique<PeriodicTask>(sim, period, [raw] {
+        (void)raw->client->invoke(
+            [raw](const FrameBreakdown& b) { raw->onDone(b); });
+      });
+      if (policy == Policy::kDegrade) {
+        DegradationConfig degrade;
+        degrade.enabled = true;
+        degrade.windowFrames = 30;
+        degrade.stepDownPressure = 0.25;
+        degrade.sustainWindows = 2;
+        degrade.coolDownWindows = 4;
+        stream->degrader = std::make_unique<StreamDegrader>(
+            *raw->client, *raw->task, period, degrade);
+      }
+      // Staggered phases, same as the sharded harness: no two submissions
+      // share a timestamp.
+      stream->task->startAt(sim.now() + (period * (i + 1)) / (kOvStreams + 1));
+      streams.push_back(std::move(stream));
+    }
+  }
+
+  void runFor(SimDuration horizon) { sim.runFor(horizon); }
+
+  std::uint64_t terminated() const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) n += s->terminated;
+    return n;
+  }
+  std::uint64_t deadlineMet() const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) n += s->deadlineMet;
+    return n;
+  }
+  std::uint64_t outcome(FrameOutcome o) const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) n += s->client->outcomeCount(o);
+    return n;
+  }
+  std::uint64_t degradeDowns() const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) {
+      if (s->degrader) n += s->degrader->stepDowns();
+    }
+    return n;
+  }
+};
+
+// Goodput (frames completed within the nominal deadline per simulated
+// second) across the policy x load grid. items_per_second is simulation
+// throughput; the policy comparison lives in the counters.
+void BM_OverloadGoodput(benchmark::State& state) {
+  const Policy policy = static_cast<Policy>(state.range(0));
+  const double loadFactor = static_cast<double>(state.range(1)) / 100.0;
+  const double measureSeconds = 8.0;
+  std::uint64_t frames = 0;
+  double goodputFps = 0, capacityFps = 0, offeredFps = 0;
+  std::uint64_t admissionRejected = 0, timedOut = 0, shed = 0, downs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<OverloadFixture>(policy, loadFactor);
+    // Warmup: pools and queues reach steady state; degradation settles on
+    // its rung.
+    fx->runFor(secondsF(4.0));
+    const std::uint64_t metBefore = fx->deadlineMet();
+    const std::uint64_t terminatedBefore = fx->terminated();
+    state.ResumeTiming();
+    fx->runFor(secondsF(measureSeconds));
+    state.PauseTiming();
+    const std::uint64_t met = fx->deadlineMet() - metBefore;
+    frames += fx->terminated() - terminatedBefore;
+    goodputFps = static_cast<double>(met) / measureSeconds;
+    capacityFps = fx->capacityFps;
+    offeredFps = fx->offeredFps;
+    admissionRejected = fx->outcome(FrameOutcome::kAdmissionRejected);
+    timedOut = fx->outcome(FrameOutcome::kTimedOut);
+    shed = fx->outcome(FrameOutcome::kShed);
+    downs = fx->degradeDowns();
+    fx.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.SetLabel(strCat(policyName(policy), "@",
+                        static_cast<int>(loadFactor * 100), "%"));
+  state.counters["goodput_fps"] = benchmark::Counter(goodputFps);
+  state.counters["capacity_fps"] = benchmark::Counter(capacityFps);
+  state.counters["offered_fps"] = benchmark::Counter(offeredFps);
+  state.counters["goodput_ratio"] =
+      benchmark::Counter(capacityFps > 0 ? goodputFps / capacityFps : 0);
+  state.counters["admission_rejected"] =
+      benchmark::Counter(static_cast<double>(admissionRejected));
+  state.counters["timed_out"] =
+      benchmark::Counter(static_cast<double>(timedOut));
+  state.counters["shed"] = benchmark::Counter(static_cast<double>(shed));
+  state.counters["degrade_downs"] =
+      benchmark::Counter(static_cast<double>(downs));
+}
+BENCHMARK(BM_OverloadGoodput)
+    ->ArgsProduct({{static_cast<int>(Policy::kNone),
+                    static_cast<int>(Policy::kShed),
+                    static_cast<int>(Policy::kAdmit),
+                    static_cast<int>(Policy::kDegrade)},
+                   {100, 150, 200}});
+
+// The admission fast path must stay allocation-free even while REJECTING at
+// 2x overload: a rejection is a stack breakdown + two counters, no slab
+// slot, no transport event. Aborts on regression.
+void BM_OverloadAdmissionAllocFree(benchmark::State& state) {
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<OverloadFixture>(Policy::kAdmit, 2.0);
+    fx->runFor(secondsF(2.0));  // warm pools/queues to steady-state size
+    const std::uint64_t terminatedBefore = fx->terminated();
+    const std::uint64_t before = allocsNow();
+    state.ResumeTiming();
+    fx->runFor(secondsF(4.0));
+    state.PauseTiming();
+    const std::uint64_t delta = allocsNow() - before;
+    const std::uint64_t rejected =
+        fx->outcome(FrameOutcome::kAdmissionRejected);
+    if (delta != 0) {
+      std::fprintf(stderr,
+                   "FATAL: %llu heap allocations on the admission fast path "
+                   "at 2x overload (%llu frames, %llu rejected) — per-frame "
+                   "admission must be allocation-free\n",
+                   static_cast<unsigned long long>(delta),
+                   static_cast<unsigned long long>(fx->terminated() -
+                                                   terminatedBefore),
+                   static_cast<unsigned long long>(rejected));
+      std::abort();
+    }
+    if (rejected == 0) {
+      std::fprintf(stderr,
+                   "FATAL: 2x overload produced zero admission rejections — "
+                   "the guard is not exercising the reject path\n");
+      std::abort();
+    }
+    frames += fx->terminated() - terminatedBefore;
+    fx.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["allocs_per_frame"] = benchmark::Counter(0.0);
+}
+BENCHMARK(BM_OverloadAdmissionAllocFree);
 
 }  // namespace
 }  // namespace microedge

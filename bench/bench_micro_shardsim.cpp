@@ -117,6 +117,11 @@ const char* modeName(ShardedSim::WindowBound mode) {
   return mode == ShardedSim::WindowBound::kAdaptive ? "adaptive" : "fixed";
 }
 
+// Per-frame admission for every stream's client; the CI smoke runs the same
+// config with admission on and off and byte-compares the dumps (below
+// capacity the ledger is pure bookkeeping, so they must agree).
+FrameAdmissionConfig g_admission{};
+
 ShardedClusterConfig configFor(const Preset& preset, unsigned shards,
                                ShardedSim::WindowBound mode) {
   ShardedClusterConfig config;
@@ -132,6 +137,7 @@ ShardedClusterConfig configFor(const Preset& preset, unsigned shards,
   config.frameDeadline = milliseconds(preset.deadlineMs);
   config.crossRackStride = 5;  // keep some cross-shard traffic in the mix
   config.windowBound = mode;
+  config.frameAdmission = g_admission;
   // Block placement keeps stride-to-next-rack streams shard-local except at
   // block boundaries — the locality the adaptive bound feeds on. Results
   // are mapping-invariant, so both modes use it and the digests must still
@@ -227,7 +233,10 @@ void usage() {
       "  --smoke           one small run (first mode/shards entry); with\n"
       "                    --dump, write its metrics\n"
       "  --dump=PATH       write the run's deterministic metrics dump\n"
-      "                    (CI byte-compares every mode x shard cell)\n";
+      "                    (CI byte-compares every mode x shard cell)\n"
+      "  --admission=on|off  per-frame admission ledger on every stream\n"
+      "                    (default off; below capacity the dump must be\n"
+      "                    byte-identical either way — CI cmp's them)\n";
 }
 
 }  // namespace
@@ -256,6 +265,12 @@ int main(int argc, char** argv) {
       outPath = value;
     } else if (parseFlag(arg, "dump", &value)) {
       dumpPath = value;
+    } else if (parseFlag(arg, "admission", &value)) {
+      if (value != "on" && value != "off") {
+        std::cerr << "bad --admission value " << value << " (on|off)\n";
+        return 2;
+      }
+      g_admission.enabled = value == "on";
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--help" || arg == "-h") {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json] [shardsim_output.json]
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json] [shardsim_output.json] [overload_output.json]
 #   BUILD_DIR=build   build tree containing bench/bench_micro_sim,
 #                     bench/bench_micro_scheduler, bench/bench_micro_dataplane
 #                     and (with BENCH_CHAOS=1) bench/bench_micro_chaos
@@ -23,6 +23,11 @@
 #   BENCH_SHARDSIM_MODES=fixed,adaptive  window-bound modes (the adaptive
 #                     ECSB bound must reproduce the fixed bound's digests
 #                     bit-for-bit; the binary aborts on any mismatch)
+#   BENCH_OVERLOAD=1  run the overload-control axis of the chaos binary:
+#                     goodput vs offered load at 1x/1.5x/2x of analytic
+#                     capacity across the §14 policies (none/shed/admit/
+#                     degrade), plus the 0-allocs/frame guard on the
+#                     admission reject path (-> BENCH_overload.json)
 #
 # The JSON lands at BENCH_sim.json / BENCH_sched.json / BENCH_dataplane.json
 # by default so the perf trajectory of the event engine, the admission
@@ -42,15 +47,17 @@ DP_OUT="${3:-BENCH_dataplane.json}"
 CHAOS_OUT="${4:-BENCH_chaos.json}"
 SWEEP_OUT="${5:-BENCH_sweep.json}"
 SHARDSIM_OUT="${6:-BENCH_shardsim.json}"
+OVERLOAD_OUT="${7:-BENCH_overload.json}"
 REPS="${REPS:-1}"
 
 run_suite() {
-  local bin="$1" out="$2"
+  local bin="$1" out="$2" filter="${3:-}"
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
     exit 1
   fi
   "${bin}" \
+    ${filter:+--benchmark_filter="${filter}"} \
     --benchmark_repetitions="${REPS}" \
     --benchmark_report_aggregates_only=false \
     --benchmark_out_format=json \
@@ -62,7 +69,15 @@ run_suite "${BUILD_DIR}/bench/bench_micro_sim" "${SIM_OUT}"
 run_suite "${BUILD_DIR}/bench/bench_micro_scheduler" "${SCHED_OUT}"
 run_suite "${BUILD_DIR}/bench/bench_micro_dataplane" "${DP_OUT}"
 if [[ "${BENCH_CHAOS:-0}" == "1" ]]; then
-  run_suite "${BUILD_DIR}/bench/bench_micro_chaos" "${CHAOS_OUT}"
+  run_suite "${BUILD_DIR}/bench/bench_micro_chaos" "${CHAOS_OUT}" '-BM_Overload.*'
+fi
+
+# Overload-control axis (same binary as the chaos suite, different fixture):
+# open-loop offered load at 1x/1.5x/2x of analytic capacity across the
+# overload policies. The AllocFree guard aborts the run if the admission
+# reject path performs any steady-state heap allocation.
+if [[ "${BENCH_OVERLOAD:-0}" == "1" ]]; then
+  run_suite "${BUILD_DIR}/bench/bench_micro_chaos" "${OVERLOAD_OUT}" 'BM_Overload.*'
 fi
 
 # Experiment sweep (src/sweep/): not a google-benchmark suite — the binary

@@ -91,6 +91,7 @@ Defragmenter::Report Defragmenter::replanAll() {
                        << " (" << result.status().toString()
                        << "); rolled back";
       report.applied = false;
+      report.reason = Reason::kInfeasiblePlacement;
       report.sharesAfter = report.sharesBefore;
       report.usedTpusAfter = report.usedTpusBefore;
       return report;
@@ -129,6 +130,7 @@ Defragmenter::Report Defragmenter::consolidate() {
     Status released = admission_.release(allocation);
     if (!released.isOk()) {
       admission_.pool() = snapshot;
+      report.reason = Reason::kReleaseFailed;
       continue;
     }
     auto result =
@@ -137,6 +139,7 @@ Defragmenter::Report Defragmenter::consolidate() {
         result->allocation.shares.size() >= allocation.shares.size()) {
       // Not an improvement: restore the original placement exactly.
       admission_.pool() = snapshot;
+      if (report.reason == Reason::kNone) report.reason = Reason::kNoImprovement;
       continue;
     }
     ++report.podsReplanned;

@@ -35,8 +35,20 @@ class Defragmenter {
     std::function<void(std::uint64_t podUid, const LbConfig&)> reconfigureLb;
   };
 
+  // Why a replan stopped short (or didn't): distinguishes "nothing to do"
+  // from the rollback causes, which callers (the repack supervisor, ops
+  // tooling) treat differently — an infeasible placement means try again
+  // after churn, a release failure means the tracking state is suspect.
+  enum class Reason : std::uint8_t {
+    kNone = 0,            // applied cleanly (or trivially: nothing tracked)
+    kInfeasiblePlacement, // re-admit failed mid-replan; pool rolled back
+    kReleaseFailed,       // a tracked share would not release; rolled back
+    kNoImprovement,       // consolidate: no partitioned pod could collapse
+  };
+
   struct Report {
     bool applied = false;          // false => rolled back, nothing changed
+    Reason reason = Reason::kNone; // cause when !applied (or kNoImprovement)
     std::size_t podsReplanned = 0; // pods whose shares changed
     std::size_t sharesBefore = 0;
     std::size_t sharesAfter = 0;

@@ -24,6 +24,8 @@ std::string_view toString(FrameOutcome outcome) {
       return "dropped-dead-target";
     case FrameOutcome::kRejected:
       return "rejected";
+    case FrameOutcome::kAdmissionRejected:
+      return "admission-rejected";
   }
   return "unknown";
 }
@@ -45,6 +47,35 @@ TpuClient::TpuClient(Simulator& sim, const ModelRegistry& registry,
     sharded_ = true;
     myShard_ = router_->shardOfNode(clientNode_);
   }
+}
+
+Status TpuClient::configureLb(const LbConfig& config) {
+  Status s = lb_.configure(config);
+  if (!s.isOk() || !config_.admission.enabled) return s;
+  // Capacity line = the pushed share weights (milli units) scaled by the
+  // overcommit knob. Control-plane path: a local vector is fine here; the
+  // per-frame charge/credit path below allocates nothing.
+  std::vector<AdmissionLedger::TargetCapacity> targets;
+  targets.reserve(lb_.config().weights.size());
+  for (const LbWeight& w : lb_.config().weights) {
+    targets.push_back({w.tpu, w.weight});
+  }
+  admission_.reconfigure(targets.data(), targets.size(),
+                         config_.admission.overcommit);
+  // One model + one deadline per client, so the SLEDGE estimate
+  // (execution / deadline) is a per-client constant. Zero disables the
+  // per-frame check (no deadline, or the model is not registered yet —
+  // deployments register models before pushing LB configs).
+  const ModelInfo* info = registry_.byId(model_);
+  if (info != nullptr && config_.frameDeadline > SimDuration::zero()) {
+    const std::int64_t est =
+        info->inferenceLatency.count() * 1000 / config_.frameDeadline.count();
+    admissionEstimateMilli_ =
+        static_cast<std::uint32_t>(std::max<std::int64_t>(1, est));
+  } else {
+    admissionEstimateMilli_ = 0;
+  }
+  return s;
 }
 
 TpuClient::~TpuClient() {
@@ -184,6 +215,31 @@ Status TpuClient::invoke(CompletionCallback done) {
   std::size_t index = 0;
   TpuService* service = routeToLiveTarget(&index);
 
+  // Per-frame admission: charge the routed target's ledger entry before any
+  // slab slot or transport event exists, so a rejection costs a stack-built
+  // breakdown and nothing else. estimate == 0 means admission is off and the
+  // submit path is untouched.
+  std::uint32_t ledgerEntry = AdmissionLedger::kNoEntry;
+  std::uint32_t ledgerCharge = 0;
+  if (service != nullptr && admissionEstimateMilli_ != 0) {
+    ledgerEntry = admission_.entryFor(lb_.config().weights[index].tpu);
+    if (ledgerEntry != AdmissionLedger::kNoEntry) {
+      if (!admission_.tryCharge(ledgerEntry, admissionEstimateMilli_)) {
+        ++submitted_;
+        ++failed_;
+        ++outcomes_[static_cast<std::size_t>(
+            FrameOutcome::kAdmissionRejected)];
+        FrameBreakdown b;
+        b.frameId = nextFrameId_++;
+        b.submitted = sim_.now();
+        b.outcome = FrameOutcome::kAdmissionRejected;
+        if (done) done(b);
+        return Status::ok();
+      }
+      ledgerCharge = admissionEstimateMilli_;
+    }
+  }
+
   ++submitted_;
   Handle h = pool_.acquire();
   InvokeContext* c = pool_.get(h);
@@ -192,6 +248,8 @@ Status TpuClient::invoke(CompletionCallback done) {
   c->breakdown.submitted = sim_.now();
   c->dlPrev = Handle{};  // recycled slot: clear stale queue links
   c->dlNext = Handle{};
+  c->ledgerEntry = ledgerEntry;
+  c->ledgerCharge = ledgerCharge;
   c->done = std::move(done);
   if (service == nullptr) {
     // Every target is dead or masked: terminal drop, explicitly counted (the
@@ -261,6 +319,33 @@ Status TpuClient::submitBurst(std::span<FrameSpec> frames) {
   for (std::size_t i = 0; i < k; ++i) {
     std::size_t index = 0;
     TpuService* service = routeToLiveTarget(&index);
+    // Same admission gate as invoke(), at the same sequential position. A
+    // rejected frame gives back its pre-acquired slot and fires its callback
+    // mid-burst exactly where sequential would — after a flush, so
+    // re-entrant submissions observe sequential state.
+    std::uint32_t ledgerEntry = AdmissionLedger::kNoEntry;
+    std::uint32_t ledgerCharge = 0;
+    if (service != nullptr && admissionEstimateMilli_ != 0) {
+      ledgerEntry = admission_.entryFor(lb_.config().weights[index].tpu);
+      if (ledgerEntry != AdmissionLedger::kNoEntry) {
+        if (!admission_.tryCharge(ledgerEntry, admissionEstimateMilli_)) {
+          ++submitted_;
+          ++failed_;
+          ++outcomes_[static_cast<std::size_t>(
+              FrameOutcome::kAdmissionRejected)];
+          FrameBreakdown b;
+          b.frameId = nextFrameId_++;
+          b.submitted = now;
+          b.outcome = FrameOutcome::kAdmissionRejected;
+          pool_.release(burstScratch_[base + i]);
+          CompletionCallback done = std::move(frames[i].done);
+          flushBurst(burst);
+          if (done) done(b);
+          continue;
+        }
+        ledgerCharge = admissionEstimateMilli_;
+      }
+    }
     ++submitted_;
     // Index by value each iteration: a re-entrant burst from a mid-loop
     // completion callback may reallocate the scratch vector.
@@ -271,6 +356,8 @@ Status TpuClient::submitBurst(std::span<FrameSpec> frames) {
     c->breakdown.submitted = now;
     c->dlPrev = Handle{};
     c->dlNext = Handle{};
+    c->ledgerEntry = ledgerEntry;
+    c->ledgerCharge = ledgerCharge;
     c->done = std::move(frames[i].done);
     if (service == nullptr) {
       ME_LOG(kWarning) << "no reachable TPU service for " << config_.model
@@ -569,6 +656,14 @@ bool TpuClient::tryFailover(Handle h, InvokeContext* c) {
   nc->inferenceEstimate = c->inferenceEstimate;
   nc->postprocessLatency = c->postprocessLatency;
   nc->deadlineAt = c->deadlineAt;
+  // The ledger charge follows the frame, not the attempt: the new slot
+  // carries it to its terminal outcome (credited once, in finish); the old
+  // slot is released below without ever reaching finish. The charge stays
+  // against the original entry — conservation is per-frame, and re-charging
+  // the failover target could deadlock a frame mid-recovery.
+  nc->ledgerEntry = c->ledgerEntry;
+  nc->ledgerCharge = c->ledgerCharge;
+  c->ledgerCharge = 0;
   nc->done = std::move(c->done);
   c->done = nullptr;
   // The deadline is a property of the frame, not of the attempt: the new
@@ -660,6 +755,13 @@ void TpuClient::finish(Handle h, FrameOutcome outcome) {
   InvokeContext* c = pool_.get(h);
   if (c == nullptr) return;
   dlUnlink(h, c);
+  // Exactly-one-credit: finish is the single terminal path, so crediting
+  // here covers every outcome — completion, timeout, shed, dead-target
+  // drops, remote NACKs, and failover chains (the charge rode to this slot).
+  if (c->ledgerCharge != 0) {
+    admission_.credit(c->ledgerEntry, c->ledgerCharge);
+    c->ledgerCharge = 0;
+  }
   c->breakdown.outcome = outcome;
   ++outcomes_[static_cast<std::size_t>(outcome)];
   if (outcome == FrameOutcome::kCompleted) {

@@ -70,6 +70,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/admission_ledger.hpp"
 #include "dataplane/lb_service.hpp"
 #include "dataplane/tpu_service.hpp"
 #include "dataplane/transport.hpp"
@@ -93,8 +94,13 @@ enum class FrameOutcome : std::uint8_t {
   kShed,                // dropped at arrival: backlog already blows the deadline
   kDroppedDeadTarget,   // no live target (at submit, mid-flight, or failover)
   kRejected,            // target's invoke refused and no failover possible
+  // Per-frame admission ledger said no at submit: the routed target has no
+  // estimate headroom. Deliberately the LAST enumerator — the digest
+  // witnesses fold outcomes as integers, so appending keeps every
+  // admission-off digest identical to before the ledger existed.
+  kAdmissionRejected,
 };
-inline constexpr std::size_t kFrameOutcomeCount = 6;
+inline constexpr std::size_t kFrameOutcomeCount = 7;
 std::string_view toString(FrameOutcome outcome);
 
 struct FrameBreakdown {
@@ -135,6 +141,9 @@ class TpuClient {
     // stream's traffic. Zero keeps the legacy per-lane sequential draws.
     // DataPlane::makeClient auto-assigns a token when left at zero.
     std::uint64_t streamToken = 0;
+    // Per-frame admission (DESIGN.md §14). Disabled keeps the submit path
+    // bit-identical to a ledger-free build.
+    FrameAdmissionConfig admission{};
   };
   // Resolves a TPU handle to its TPU Service instance (nullptr if gone).
   // Dense-handle lookup so per-frame routing never touches a string map.
@@ -153,8 +162,9 @@ class TpuClient {
   ~TpuClient();
 
   // Seeds the embedded LB Service (done by the extended scheduler at pod
-  // initialization, §3.1 step 4).
-  Status configureLb(const LbConfig& config) { return lb_.configure(config); }
+  // initialization, §3.1 step 4) and, with admission enabled, rebuilds the
+  // ledger's capacity line from the pushed weights (share milli-units).
+  Status configureLb(const LbConfig& config);
   bool ready() const { return lb_.configured() && !stopped_; }
 
   // Submits one frame through the full pipeline. `done` fires once the
@@ -220,6 +230,8 @@ class TpuClient {
   }
   // Live context slots (== outstanding()); exposed for pool-accounting tests.
   std::size_t contextsInFlight() const { return pool_.inUse(); }
+  // Per-frame admission ledger (meaningful only with admission enabled).
+  const AdmissionLedger& admissionLedger() const { return admission_; }
 
  private:
   // All per-frame pipeline state (breakdown, the model's POD cost figures,
@@ -242,6 +254,11 @@ class TpuClient {
     Handle dlPrev{};
     Handle dlNext{};
     std::uint32_t targetIndex = 0;  // index into lb_.config().weights
+    // Admission-ledger charge riding the frame: credited exactly once in
+    // finish(), whatever the terminal outcome. ledgerCharge == 0 marks "not
+    // charged" (admission off, or the frame was rejected up front).
+    std::uint32_t ledgerEntry = AdmissionLedger::kNoEntry;
+    std::uint32_t ledgerCharge = 0;
     CompletionCallback done;
   };
 
@@ -361,6 +378,11 @@ class TpuClient {
   NodeId clientNode_{};  // interned once; every frame's transport endpoint
   ModelId model_{};      // interned once; every frame's invoke argument
   LbService lb_;
+  AdmissionLedger admission_;
+  // Per-frame charge in milli execution/deadline units, fixed per client
+  // (one model + one deadline): inferenceEstimate * 1000 / frameDeadline,
+  // floored at 1. Zero when admission is off or no deadline is configured.
+  std::uint32_t admissionEstimateMilli_ = 0;
   ContextPool pool_;
   GroupPool groupPool_;
   // Burst scratch, capacity retained across bursts. burstScratch_ holds the

@@ -304,6 +304,11 @@ class PeriodicTask {
   void stop();
   bool running() const { return running_; }
   SimDuration period() const { return period_; }
+  // Changes the interval; takes effect when the currently-armed firing
+  // re-arms (fire() reads period_ fresh), so adjusting from inside the
+  // callback — the degradation controller's use — is deterministic and
+  // never cancels/reschedules the in-flight event.
+  void setPeriod(SimDuration period) { period_ = period; }
 
  private:
   void fire();

@@ -1,0 +1,51 @@
+#include "testbed/degradation.hpp"
+
+#include <cmath>
+
+namespace microedge {
+
+void StreamDegrader::onFrame() {
+  if (!config_.enabled) return;
+  ++terminals_;
+  if (terminals_ % config_.windowFrames != 0) return;
+  ++windowsObserved_;
+
+  const std::uint64_t bad =
+      client_.outcomeCount(FrameOutcome::kAdmissionRejected) +
+      client_.outcomeCount(FrameOutcome::kTimedOut) +
+      client_.outcomeCount(FrameOutcome::kShed);
+  const std::uint64_t dBad = bad - prevBad_;
+  prevBad_ = bad;
+  const double pressure =
+      static_cast<double>(dBad) / static_cast<double>(config_.windowFrames);
+
+  if (pressure >= config_.stepDownPressure) {
+    cleanStreak_ = 0;
+    if (++pressStreak_ >= config_.sustainWindows &&
+        rung_ + 1 < config_.ladder.size()) {
+      ++rung_;
+      ++stepDowns_;
+      pressStreak_ = 0;
+      applyRung();
+    }
+    return;
+  }
+  pressStreak_ = 0;
+  if (rung_ > 0 && ++cleanStreak_ >= config_.coolDownWindows) {
+    --rung_;
+    ++stepUps_;
+    cleanStreak_ = 0;
+    applyRung();
+  }
+}
+
+void StreamDegrader::applyRung() {
+  // period = nominal / multiplier, rounded to the nanosecond. Takes effect
+  // when the in-flight firing re-arms — no cancel/reschedule, so the event
+  // schedule mutation is deterministic wherever onFrame() was called from.
+  const double mult = config_.ladder[rung_];
+  task_.setPeriod(SimDuration{static_cast<std::int64_t>(
+      std::llround(static_cast<double>(nominalPeriod_.count()) / mult))});
+}
+
+}  // namespace microedge

@@ -1,0 +1,103 @@
+#pragma once
+
+// Adaptive per-stream degradation (DESIGN.md §14, loop 2).
+//
+// When a stream's target shares are saturated, the admission ledger (and,
+// without it, deadline shedding) turns the excess into rejected/late frames.
+// Dropping every fourth frame of a 15 fps stream is strictly worse for a
+// vision pipeline than running the whole stream at a clean 11 fps: the
+// controller below trades frame *rate* for frame *reliability* by stepping
+// the stream's submit period down a discrete fps-multiplier ladder under
+// sustained pressure, and back up with hysteresis once the pressure clears.
+//
+// The controller is deliberately event-free: it piggybacks on the stream's
+// completion callback (onFrame() after every terminal outcome) and evaluates
+// one window every `windowFrames` terminals, adjusting the stream's
+// PeriodicTask period in place (PeriodicTask::setPeriod takes effect at the
+// next re-arm). No timer of its own means no new event timestamps — a
+// degradation-off run's event schedule is untouched byte for byte — and the
+// whole loop is a pure function of the stream's own outcome sequence, so a
+// run is exactly replayable from its seed. (Cross-shard-count byte-identity
+// is a non-goal with degradation on: a degraded stream's re-timed frames may
+// collide with another stream's timestamps, and same-timestamp tie order is
+// a per-shard-count property. The differential witness keeps degradation
+// off, like it keeps deadline streams rack-local.)
+//
+// Hysteresis sketch (why it cannot flap): stepping down requires
+// `sustainWindows` consecutive windows with pressure >= stepDownPressure;
+// stepping up requires `coolDownWindows` consecutive windows with pressure
+// below it, and both counters reset on any opposite-sign window. A step in
+// either direction therefore moves at most one rung per
+// min(sustainWindows, coolDownWindows) windows, and an oscillation
+// down-then-up needs the pressure signal itself to cross the threshold in
+// both directions at least `sustainWindows + coolDownWindows` windows apart
+// — bounded-frequency by construction. The ladder is finite, so the rung
+// sequence converges whenever the pressure signal settles on one side of
+// the threshold.
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/tpu_client.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace microedge {
+
+struct DegradationConfig {
+  bool enabled = false;
+  // fps multipliers, descending from full rate. Rung r runs the stream at
+  // nominal fps * ladder[r].
+  std::vector<double> ladder = {1.0, 0.75, 0.5, 1.0 / 3.0, 0.25};
+  // Terminal outcomes per evaluation window.
+  std::uint32_t windowFrames = 30;
+  // Window pressure (bad terminals / window terminals) at or above which the
+  // window counts toward stepping down. Bad = admission-rejected + timed-out
+  // + shed: the outcomes overload produces.
+  double stepDownPressure = 0.1;
+  std::uint32_t sustainWindows = 2;
+  std::uint32_t coolDownWindows = 4;
+};
+
+class StreamDegrader {
+ public:
+  // `task` is the stream's frame source; `nominalPeriod` its full-rate
+  // period. The degrader never starts/stops the task, only retunes it.
+  StreamDegrader(TpuClient& client, PeriodicTask& task,
+                 SimDuration nominalPeriod, DegradationConfig config)
+      : client_(client), task_(task), nominalPeriod_(nominalPeriod),
+        config_(std::move(config)) {
+    if (config_.ladder.empty()) config_.ladder.push_back(1.0);
+  }
+
+  // Hook this into the stream's completion callback (after every terminal
+  // outcome, not just completions).
+  void onFrame();
+
+  std::size_t rung() const { return rung_; }
+  double multiplier() const { return config_.ladder[rung_]; }
+  std::uint64_t stepDowns() const { return stepDowns_; }
+  std::uint64_t stepUps() const { return stepUps_; }
+  std::uint64_t windowsObserved() const { return windowsObserved_; }
+  const DegradationConfig& config() const { return config_; }
+
+ private:
+  void applyRung();
+
+  TpuClient& client_;
+  PeriodicTask& task_;
+  SimDuration nominalPeriod_;
+  DegradationConfig config_;
+  std::uint64_t terminals_ = 0;
+  // Previous window's cumulative bad-outcome count (admission-rejected +
+  // timed-out + shed).
+  std::uint64_t prevBad_ = 0;
+  std::size_t rung_ = 0;
+  std::uint32_t pressStreak_ = 0;
+  std::uint32_t cleanStreak_ = 0;
+  std::uint64_t stepDowns_ = 0;
+  std::uint64_t stepUps_ = 0;
+  std::uint64_t windowsObserved_ = 0;
+};
+
+}  // namespace microedge

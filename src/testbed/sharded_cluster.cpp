@@ -39,6 +39,9 @@ struct ShardedCluster::Stream {
   std::uint64_t digest = kFnvOffset;
   std::unique_ptr<TpuClient> client;
   std::unique_ptr<PeriodicTask> task;
+  // Declared after task/client (destroyed first; it references both). Null
+  // unless degradation is enabled.
+  std::unique_ptr<StreamDegrader> degrader;
 
   void fold(const FrameBreakdown& b) {
     std::uint64_t h = digest;
@@ -218,6 +221,9 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
         cross ? SimDuration::zero() : config_.frameDeadline;
     clientConfig.maxFailovers = config_.maxFailovers;
     clientConfig.health = config_.lbHealth;
+    // Per-frame admission: with a zero deadline (cross-rack streams) the
+    // estimate is zero and the ledger is never consulted.
+    clientConfig.admission = config_.frameAdmission;
     // Keyed transport loss: the stream uid tokens every message, so which
     // frames a loss window drops is a pure function of (plan seed, uid,
     // frame seq) — identical at every shard count AND for batched ingest.
@@ -241,10 +247,16 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
     stream->task = std::make_unique<PeriodicTask>(
         sim, period,
         [raw] {
-          (void)raw->client->invoke(
-              [raw](const FrameBreakdown& b) { raw->fold(b); });
+          (void)raw->client->invoke([raw](const FrameBreakdown& b) {
+            raw->fold(b);
+            if (raw->degrader) raw->degrader->onFrame();
+          });
         },
         crossShard);
+    if (config_.degradation.enabled) {
+      stream->degrader = std::make_unique<StreamDegrader>(
+          *stream->client, *stream->task, period, config_.degradation);
+    }
     // Stagger camera phases so no two frames in the cluster ever share a
     // timestamp: the global event order — and with it every breakdown — is
     // then independent of how shards interleave.
@@ -398,6 +410,10 @@ ShardedCluster::StreamStats ShardedCluster::streamStats(
   stats.submitted = stream.client->submittedCount();
   stats.completed = stream.client->completedCount();
   stats.failovers = stream.client->failoverCount();
+  if (stream.degrader != nullptr) {
+    stats.degradeDowns = stream.degrader->stepDowns();
+    stats.degradeUps = stream.degrader->stepUps();
+  }
   for (std::size_t o = 0; o < kFrameOutcomeCount; ++o) {
     stats.outcomes[o] =
         stream.client->outcomeCount(static_cast<FrameOutcome>(o));
@@ -424,6 +440,22 @@ std::uint64_t ShardedCluster::outcomeTotal(FrameOutcome outcome) const {
   return n;
 }
 
+std::uint64_t ShardedCluster::totalDegradeDowns() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) {
+    if (s->degrader != nullptr) n += s->degrader->stepDowns();
+  }
+  return n;
+}
+
+std::uint64_t ShardedCluster::totalDegradeUps() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) {
+    if (s->degrader != nullptr) n += s->degrader->stepUps();
+  }
+  return n;
+}
+
 std::uint64_t ShardedCluster::digest() const {
   std::uint64_t h = kFnvOffset;
   for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -441,7 +473,9 @@ std::string ShardedCluster::metricsJson(bool withSimStats) const {
                   "\", \"crossRack\": ", stats.crossRack ? "true" : "false",
                   ", \"submitted\": ", stats.submitted,
                   ", \"completed\": ", stats.completed,
-                  ", \"failovers\": ", stats.failovers, ", \"outcomes\": [");
+                  ", \"failovers\": ", stats.failovers,
+                  ", \"degradeDowns\": ", stats.degradeDowns,
+                  ", \"degradeUps\": ", stats.degradeUps, ", \"outcomes\": [");
     for (std::size_t o = 0; o < kFrameOutcomeCount; ++o) {
       out += strCat(o == 0 ? "" : ", ", stats.outcomes[o]);
     }
@@ -449,6 +483,10 @@ std::string ShardedCluster::metricsJson(bool withSimStats) const {
   }
   out += strCat("\n  ],\n  \"totalSubmitted\": ", totalSubmitted(),
                 ",\n  \"totalCompleted\": ", totalCompleted(),
+                ",\n  \"totalAdmissionRejected\": ",
+                outcomeTotal(FrameOutcome::kAdmissionRejected),
+                ",\n  \"totalDegradeDowns\": ", totalDegradeDowns(),
+                ",\n  \"totalDegradeUps\": ", totalDegradeUps(),
                 ",\n  \"digest\": ", digest());
   if (withSimStats) {
     // Opt-in: window counts vary with shard count / window mode and stall

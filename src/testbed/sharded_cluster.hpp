@@ -51,6 +51,7 @@
 #include "models/registry.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sharded_sim.hpp"
+#include "testbed/degradation.hpp"
 #include "util/status.hpp"
 
 namespace microedge {
@@ -99,6 +100,14 @@ struct ShardedClusterConfig {
   LbSpread spread = LbSpread::kSmooth;
   TpuHardwareConfig tpuConfig{};
   NetworkConfig networkConfig{};
+  // Per-frame admission for every rack-local stream's client (cross-rack
+  // streams run deadline-free, which disables the ledger's estimate). Off
+  // keeps the submit path — and the default dump — byte-identical.
+  FrameAdmissionConfig frameAdmission{};
+  // Per-stream fps-ladder degradation. Runs with it are deterministic and
+  // seed-replayable per shard count, but re-timed frames leave the
+  // cross-shard-count byte-identity path (see degradation.hpp).
+  DegradationConfig degradation{};
 };
 
 class ShardedCluster {
@@ -136,6 +145,8 @@ class ShardedCluster {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t failovers = 0;
+    std::uint64_t degradeDowns = 0;  // fps-ladder steps down (0 when off)
+    std::uint64_t degradeUps = 0;    // recovery steps back up
     std::array<std::uint64_t, kFrameOutcomeCount> outcomes{};
     std::uint64_t digest = 0;  // FNV-1a over completed breakdowns, in order
   };
@@ -143,6 +154,9 @@ class ShardedCluster {
   std::uint64_t totalSubmitted() const;
   std::uint64_t totalCompleted() const;
   std::uint64_t outcomeTotal(FrameOutcome outcome) const;
+  // Degradation step events across all streams (zero with degradation off).
+  std::uint64_t totalDegradeDowns() const;
+  std::uint64_t totalDegradeUps() const;
   // Order-fixed fold of every stream's digest: the one number two runs (at
   // any shard count) must agree on.
   std::uint64_t digest() const;

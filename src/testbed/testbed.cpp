@@ -110,6 +110,24 @@ Testbed::Testbed(TestbedConfig config)
       sim_, std::move(devices), config_.utilizationWindow);
   reclamationTask_ = std::make_unique<PeriodicTask>(
       sim_, config_.reclamationPeriod, [this] { pollReclamationNow(); });
+  if (config_.repack.enabled && defragmenter_ != nullptr) {
+    // Attainment sample: completed / terminal across every stream that ever
+    // ran. The supervisor differences successive samples, so the window
+    // signal reacts to *current* misery, not run-lifetime averages.
+    repackSupervisor_ = std::make_unique<RepackSupervisor>(
+        config_.repack,
+        [this]() -> RepackSupervisor::Sample {
+          RepackSupervisor::Sample s;
+          for (const SloMonitor* m : collectSloMonitors()) {
+            s.good += m->completed();
+            s.total += m->completed() + m->dropped();
+          }
+          return s;
+        },
+        [this] { return defragmenter_->replanAll(); });
+    repackTask_ = std::make_unique<PeriodicTask>(
+        sim_, config_.repack.window, [this] { repackSupervisor_->onWindow(); });
+  }
 }
 
 std::function<Status(const LoadCommand&)> Testbed::callbacksLoadModel() {
@@ -173,6 +191,7 @@ StatusOr<std::unique_ptr<TpuClient>> Testbed::deployClient(
                                    : config_.frameDeadline;
   clientConfig.maxFailovers = config_.maxFailovers;
   clientConfig.health = config_.lbHealth;
+  clientConfig.admission = config_.frameAdmission;
   auto client = dataPlane_->makeClient(std::move(clientConfig));
   const LbConfig* lb = scheduler_->lbConfig(*uid);
   if (lb == nullptr) {
@@ -417,6 +436,7 @@ void Testbed::startBackgroundTasks() {
   backgroundStarted_ = true;
   utilization_->start();
   reclamationTask_->start();
+  if (repackTask_ != nullptr) repackTask_->start();
 }
 
 void Testbed::run(SimDuration horizon) {
@@ -603,7 +623,7 @@ std::vector<const CameraPipeline*> Testbed::allCameras() const {
   return out;
 }
 
-SloReport Testbed::sloReport() const {
+std::vector<const SloMonitor*> Testbed::collectSloMonitors() const {
   std::vector<const SloMonitor*> monitors;
   auto addPipeline = [&monitors](const CameraPipeline& p) {
     monitors.push_back(&p.slo());
@@ -616,7 +636,11 @@ SloReport Testbed::sloReport() const {
   for (const auto& i : retiredBodyPixes_) addPipeline(i.app->pipeline());
   for (const auto& [name, i] : cascades_) monitors.push_back(&i.app->slo());
   for (const auto& i : retiredCascades_) monitors.push_back(&i.app->slo());
-  return summarizeSlo(monitors);
+  return monitors;
+}
+
+SloReport Testbed::sloReport() const {
+  return summarizeSlo(collectSloMonitors());
 }
 
 }  // namespace microedge

@@ -27,6 +27,7 @@
 #include "core/defragmenter.hpp"
 #include "core/extended_scheduler.hpp"
 #include "core/failure_recovery.hpp"
+#include "core/overload_supervisor.hpp"
 #include "dataplane/dataplane.hpp"
 #include "metrics/slo.hpp"
 #include "metrics/utilization.hpp"
@@ -59,6 +60,13 @@ struct TestbedConfig {
   // Backoff for control-plane Load retries against transiently hung
   // services (failure recovery / defrag replans).
   ExpBackoff loadRetryBackoff{};
+  // Per-frame admission for every deployed client (DESIGN.md §14); off
+  // keeps the data-plane submit path byte-identical to the seed.
+  FrameAdmissionConfig frameAdmission{};
+  // SLO-triggered runtime repacking: when enabled (MicroEdge modes only), a
+  // periodic supervisor watches windowed SLO attainment and runs the
+  // defragmenter through the same weight-push path failure recovery uses.
+  RepackSupervisorConfig repack{};
 };
 
 // Two-stage multi-model pipeline (gate model on every frame, expert model on
@@ -160,6 +168,8 @@ class Testbed {
   // returns an un-applied report under the dedicated baseline.
   Defragmenter::Report defragment(bool full = true);
   FailureRecovery& failureRecovery() { return *failureRecovery_; }
+  // Null unless config.repack.enabled in a MicroEdge mode.
+  RepackSupervisor* repackSupervisor() { return repackSupervisor_.get(); }
 
   struct NodeFailureReport {
     std::size_t podsLost = 0;  // pods hosted on the node, terminated
@@ -220,6 +230,7 @@ class Testbed {
   StatusOr<std::unique_ptr<TpuClient>> deployClient(
       const CameraDeployment& deployment, std::uint64_t* uid);
   SloMonitor::Config sloConfigFor(const CameraDeployment& deployment) const;
+  std::vector<const SloMonitor*> collectSloMonitors() const;
   void startBackgroundTasks();
 
   TestbedConfig config_;
@@ -240,6 +251,8 @@ class Testbed {
   std::unique_ptr<FaultInjector> faultInjector_;
   std::unique_ptr<UtilizationTracker> utilization_;
   std::unique_ptr<PeriodicTask> reclamationTask_;
+  std::unique_ptr<RepackSupervisor> repackSupervisor_;
+  std::unique_ptr<PeriodicTask> repackTask_;
   bool backgroundStarted_ = false;
   Pcg32 rng_;
   std::uint64_t nextVehicleBase_ = 0;

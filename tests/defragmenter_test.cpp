@@ -46,6 +46,7 @@ TEST_F(DefragmenterTest, EmptyPoolIsTrivial) {
   auto report = defrag_->replanAll();
   EXPECT_TRUE(report.applied);
   EXPECT_EQ(report.podsReplanned, 0u);
+  EXPECT_EQ(report.reason, Defragmenter::Reason::kNone);
 }
 
 TEST_F(DefragmenterTest, ConsolidateCollapsesPartitionedPod) {
@@ -83,6 +84,7 @@ TEST_F(DefragmenterTest, ConsolidateKeepsPlacementWhenNoImprovement) {
   ASSERT_GT(split.shares.size(), 1u);
   auto report = defrag_->consolidate();
   EXPECT_EQ(report.podsReplanned, 0u);
+  EXPECT_EQ(report.reason, Defragmenter::Reason::kNoImprovement);
   EXPECT_EQ(reclamation_->allocationOf(5)->shares.size(),
             split.shares.size());
   EXPECT_EQ(pool_.totalLoad().milli(), 3800);
@@ -159,6 +161,112 @@ TEST_F(DefragmenterTest, CapacityRecoveredAfterDefrag) {
 }
 
 // ---- Through the testbed ---------------------------------------------------
+
+// Forces the replanAll rollback path and checks the snapshot-restore left
+// the pool — including its incremental packing indexes — exactly where it
+// was. The infeasibility is a param-capacity trap: FFD re-places the
+// largest pod onto the roomy TPU first, which strands a model pair whose
+// combined parameter data exceeds the small TPU.
+TEST(DefragRollbackTest, InfeasibleReplanRestoresPackingIndexes) {
+  ModelRegistry zoo = zoo::standardZoo();
+  auto addModel = [&zoo](const char* name) {
+    ModelInfo info;
+    info.name = name;
+    info.inferenceLatency = millisecondsF(5.0);
+    info.paramSizeMb = 4.0;
+    info.inputWidth = 224;
+    info.inputHeight = 224;
+    ASSERT_TRUE(zoo.add(info).isOk());
+  };
+  addModel("defrag-a");
+  addModel("defrag-b");
+  addModel("defrag-c");
+
+  TpuPool pool;
+  ASSERT_TRUE(pool.addTpu("tpu-big", 9.0).isOk());    // fits two models
+  ASSERT_TRUE(pool.addTpu("tpu-small", 4.5).isOk());  // fits one model
+  AdmissionController admission(pool, zoo, AdmissionConfig{});
+  Reclamation reclamation(admission);
+  Defragmenter defrag(admission, reclamation, Defragmenter::Callbacks{});
+
+  // Feasible hand placement: a(0.4) + b(0.6) share tpu-big (8 MB <= 9),
+  // c(1.0) fills tpu-small.
+  auto admitAndTrack = [&](std::uint64_t uid, const char* model,
+                           double units) {
+    auto result = admission.admit(uid, model, TpuUnit::fromDouble(units));
+    ASSERT_TRUE(result.isOk()) << result.status();
+    reclamation.track(uid, result->allocation);
+  };
+  admitAndTrack(1, "defrag-a", 0.4);
+  admitAndTrack(2, "defrag-b", 0.6);
+  admitAndTrack(3, "defrag-c", 1.0);
+
+  // Reference state before the replan attempt.
+  const TpuPool before = pool;
+  const Allocation allocA = *reclamation.allocationOf(1);
+  const Allocation allocB = *reclamation.allocationOf(2);
+  const Allocation allocC = *reclamation.allocationOf(3);
+
+  // FFD order is c(1.0), b(0.6), a(0.4): c grabs tpu-big, b falls to
+  // tpu-small, and a has units on tpu-small but 4+4 MB params do not fit —
+  // infeasible, roll back.
+  auto report = defrag.replanAll();
+  EXPECT_FALSE(report.applied);
+  EXPECT_EQ(report.reason, Defragmenter::Reason::kInfeasiblePlacement);
+  EXPECT_EQ(report.podsReplanned, 0u);
+
+  // Placements and tracked allocations restored exactly.
+  auto expectSameAllocation = [](const Allocation& got,
+                                 const Allocation& want) {
+    ASSERT_EQ(got.shares.size(), want.shares.size());
+    for (std::size_t i = 0; i < got.shares.size(); ++i) {
+      EXPECT_EQ(got.shares[i].tpuId, want.shares[i].tpuId);
+      EXPECT_EQ(got.shares[i].units.milli(), want.shares[i].units.milli());
+    }
+  };
+  expectSameAllocation(*reclamation.allocationOf(1), allocA);
+  expectSameAllocation(*reclamation.allocationOf(2), allocB);
+  expectSameAllocation(*reclamation.allocationOf(3), allocC);
+  ASSERT_EQ(pool.size(), before.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const TpuState& got = pool.tpus()[i];
+    const TpuState& want = before.tpus()[i];
+    EXPECT_EQ(got.id(), want.id());
+    EXPECT_EQ(got.currentLoad().milli(), want.currentLoad().milli());
+    EXPECT_EQ(got.liveModelCount(), want.liveModelCount());
+    EXPECT_EQ(got.residentOrder(), want.residentOrder());
+  }
+
+  // The restored pool's incremental indexes must be self-consistent AND
+  // enumerate candidates differentially identically to the naive scan for
+  // every strategy and probe size — snapshot-restore goes through the pool
+  // copy assignment, which rebuilds them from scratch.
+  EXPECT_TRUE(pool.indexConsistent());
+  const PackingStrategy strategies[] = {
+      PackingStrategy::kFirstFit, PackingStrategy::kNextFit,
+      PackingStrategy::kBestFit, PackingStrategy::kWorstFit};
+  for (PackingStrategy strategy : strategies) {
+    for (int probeMilli : {1, 200, 400, 600, 1000}) {
+      const TpuUnit probe = TpuUnit::fromMilli(probeMilli);
+      SCOPED_TRACE(std::string(toString(strategy)) + " probe " +
+                   std::to_string(probeMilli));
+      std::vector<std::size_t> naive;
+      for (std::size_t pos : packingScanOrder(strategy, pool, 0)) {
+        const TpuState& tpu = pool.tpus()[pos];
+        const std::int64_t residual =
+            TpuUnit::full().milli() - tpu.currentLoad().milli();
+        if (residual >= probe.milli()) naive.push_back(pos);
+      }
+      std::vector<std::size_t> indexed;
+      auto cursor = pool.scan(strategy, probe, 0);
+      for (std::uint32_t pos = cursor.next(); pos != TpuPool::npos;
+           pos = cursor.next()) {
+        indexed.push_back(pos);
+      }
+      EXPECT_EQ(indexed, naive);
+    }
+  }
+}
 
 TEST(DefragTestbedTest, LiveStreamsSurviveDefrag) {
   Testbed testbed;
