@@ -333,6 +333,7 @@ struct OverloadStream {
   TpuClient* client = nullptr;
   SimDuration nominalDeadline{};
   std::unique_ptr<PeriodicTask> task;
+  std::unique_ptr<StreamRateControl> rate;
   std::unique_ptr<StreamDegrader> degrader;
   std::uint64_t terminated = 0;
   std::uint64_t completed = 0;
@@ -417,8 +418,9 @@ struct OverloadFixture {
         degrade.stepDownPressure = 0.25;
         degrade.sustainWindows = 2;
         degrade.coolDownWindows = 4;
+        stream->rate = std::make_unique<StreamRateControl>(*raw->task, period);
         stream->degrader = std::make_unique<StreamDegrader>(
-            *raw->client, *raw->task, period, degrade);
+            *raw->client, *stream->rate, degrade);
       }
       // Staggered phases, same as the sharded harness: no two submissions
       // share a timestamp.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suites and emits machine-readable results.
 #
-# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json] [shardsim_output.json] [overload_output.json]
+# Usage: bench/run_bench.sh [sim_output.json] [sched_output.json] [dp_output.json] [chaos_output.json] [sweep_output.json] [shardsim_output.json] [overload_output.json] [scenario_output.json]
 #   BUILD_DIR=build   build tree containing bench/bench_micro_sim,
 #                     bench/bench_micro_scheduler, bench/bench_micro_dataplane
 #                     and (with BENCH_CHAOS=1) bench/bench_micro_chaos
@@ -23,6 +23,14 @@
 #   BENCH_SHARDSIM_MODES=fixed,adaptive  window-bound modes (the adaptive
 #                     ECSB bound must reproduce the fixed bound's digests
 #                     bit-for-bit; the binary aborts on any mismatch)
+#   BENCH_SCENARIO=1  run the scenario-engine flash-crowd study: per-phase
+#                     SLO attainment under the builtin 2x flash crowd across
+#                     the control-policy bundles none/admit/degrade/full
+#                     (-> BENCH_scenario.json). Every policy cell runs at
+#                     shard counts 1,2,4 and the deterministic metrics dump
+#                     must be byte-identical across them; the binary also
+#                     enforces the paper-shape gates (full >= 99% peak
+#                     attainment, none collapses) and aborts otherwise
 #   BENCH_OVERLOAD=1  run the overload-control axis of the chaos binary:
 #                     goodput vs offered load at 1x/1.5x/2x of analytic
 #                     capacity across the §14 policies (none/shed/admit/
@@ -48,6 +56,7 @@ CHAOS_OUT="${4:-BENCH_chaos.json}"
 SWEEP_OUT="${5:-BENCH_sweep.json}"
 SHARDSIM_OUT="${6:-BENCH_shardsim.json}"
 OVERLOAD_OUT="${7:-BENCH_overload.json}"
+SCENARIO_OUT="${8:-BENCH_scenario.json}"
 REPS="${REPS:-1}"
 
 run_suite() {
@@ -118,4 +127,19 @@ if [[ "${BENCH_SHARDSIM:-1}" == "1" ]]; then
     --mode="${BENCH_SHARDSIM_MODES:-fixed,adaptive}" \
     --out="${SHARDSIM_OUT}"
   echo "wrote ${SHARDSIM_OUT}"
+fi
+
+# Scenario engine (src/scenario/): the flash-crowd overload-control study.
+# Not a google-benchmark suite either — the binary runs the builtin 2x
+# flash-crowd scenario under the four control-policy bundles, byte-compares
+# each cell's deterministic dump across shard counts 1,2,4 and enforces the
+# acceptance gates in-binary (full bundle >= 99% peak attainment while
+# no-control collapses).
+if [[ "${BENCH_SCENARIO:-0}" == "1" ]]; then
+  SCENARIO_BIN="${BUILD_DIR}/bench/bench_micro_scenario"
+  if [[ ! -x "${SCENARIO_BIN}" ]]; then
+    echo "error: ${SCENARIO_BIN} not built (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+  "${SCENARIO_BIN}" --shards=1,2,4 --out="${SCENARIO_OUT}"
 fi

@@ -34,6 +34,9 @@ class CameraStream {
   const Config& config() const { return config_; }
   std::uint64_t framesEmitted() const { return frames_; }
   SimDuration framePeriodDuration() const { return task_.period(); }
+  // The underlying frame clock, exposed so a rate controller
+  // (testbed/rate_control.hpp) can retune the period at runtime.
+  PeriodicTask& task() { return task_; }
 
  private:
   void emitFrame();

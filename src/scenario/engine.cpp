@@ -1,0 +1,137 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microedge {
+
+namespace {
+
+double diurnalAt(const DiurnalSpec& diurnal, double atS) {
+  const std::vector<DiurnalSpec::Point>& pts = diurnal.points;
+  if (pts.empty()) return 1.0;
+  if (atS <= pts.front().atS) return pts.front().multiplier;
+  if (atS >= pts.back().atS) return pts.back().multiplier;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (atS > pts[i].atS) continue;
+    const DiurnalSpec::Point& a = pts[i - 1];
+    const DiurnalSpec::Point& b = pts[i];
+    const double f = (atS - a.atS) / (b.atS - a.atS);
+    return a.multiplier + f * (b.multiplier - a.multiplier);
+  }
+  return pts.back().multiplier;
+}
+
+double flashAt(const FlashCrowdSpec& flash, double atS) {
+  const double t = atS - flash.startS;
+  if (t <= 0.0) return 1.0;
+  const double peak = flash.peakMultiplier;
+  if (t < flash.rampS) return 1.0 + (peak - 1.0) * (t / flash.rampS);
+  const double afterRamp = t - flash.rampS;
+  if (afterRamp < flash.holdS) return peak;
+  const double afterHold = afterRamp - flash.holdS;
+  if (afterHold < flash.decayS) {
+    return peak + (1.0 - peak) * (afterHold / flash.decayS);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double scenarioEnvelopeAt(const ScenarioSpec& spec, int tenant, double atS) {
+  double m = diurnalAt(spec.diurnal, atS);
+  for (const FlashCrowdSpec& f : spec.flash) {
+    if (f.tenant < 0 || f.tenant == tenant) m *= flashAt(f, atS);
+  }
+  return m;
+}
+
+CompiledScenario compileScenario(const ScenarioSpec& spec, int tenants) {
+  if (tenants < 1) tenants = 1;
+  CompiledScenario out;
+  out.horizon = secondsF(spec.horizonS);
+
+  // --- Rate updates ---------------------------------------------------------
+  // Tenant-uniform scenarios (no tenant-scoped flash crowd) emit one
+  // tenant=-1 series; otherwise one series per tenant. Each series emits an
+  // update only at samples where the envelope value changed, so a flat
+  // scenario compiles to zero rate events.
+  bool uniform = true;
+  for (const FlashCrowdSpec& f : spec.flash) {
+    if (f.tenant >= 0) uniform = false;
+  }
+  const int series = uniform ? 1 : tenants;
+  const std::int64_t samples = static_cast<std::int64_t>(
+      std::floor(spec.horizonS / spec.envelopePeriodS));
+  for (int s = 0; s < series; ++s) {
+    const int tenant = uniform ? -1 : s;
+    double prev = 1.0;  // streams start at nominal rate
+    for (std::int64_t k = 0; k <= samples; ++k) {
+      const double atS = static_cast<double>(k) * spec.envelopePeriodS;
+      if (atS >= spec.horizonS) break;
+      const double m = scenarioEnvelopeAt(spec, tenant < 0 ? 0 : tenant, atS);
+      if (m == prev) continue;
+      out.rateUpdates.push_back({secondsF(atS), tenant, m});
+      prev = m;
+    }
+  }
+  std::sort(out.rateUpdates.begin(), out.rateUpdates.end(),
+            [](const ScenarioRateUpdate& a, const ScenarioRateUpdate& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.tenant < b.tenant;
+            });
+
+  // --- Churn ----------------------------------------------------------------
+  // Round-robin tenant assignment for tenant=-1 entries; the counter runs
+  // across entries so successive waves spread over different tenants.
+  int rr = 0;
+  for (const ChurnSpec& c : spec.churn) {
+    for (int k = 0; k < c.count; ++k) {
+      ScenarioChurnCamera cam;
+      cam.tenant = c.tenant >= 0 ? c.tenant % tenants : (rr++ % tenants);
+      cam.joinAt = c.joinS > 0.0 ? secondsF(c.joinS) : SimDuration::zero();
+      cam.leaveAt = c.leaveS > 0.0 ? secondsF(c.leaveS) : SimDuration::zero();
+      out.churn.push_back(cam);
+    }
+  }
+
+  // --- Phases ---------------------------------------------------------------
+  for (const PhaseSpec& p : spec.phases) {
+    out.phaseNames.push_back(p.name);
+    out.phaseEnds.push_back(secondsF(p.untilS));
+  }
+  if (out.phaseEnds.empty()) {
+    out.phaseNames.push_back("run");
+    out.phaseEnds.push_back(out.horizon);
+  } else if (out.phaseEnds.back() < out.horizon) {
+    out.phaseNames.push_back("tail");
+    out.phaseEnds.push_back(out.horizon);
+  }
+  return out;
+}
+
+FaultPlan compileScenarioFaults(
+    const ScenarioSpec& spec,
+    const std::vector<std::vector<std::string>>& nodesByRack) {
+  FaultPlan plan;
+  plan.seed = spec.seed;
+  plan.detectionDelay = secondsF(spec.detectionDelayS);
+  for (const FailureGroupSpec& g : spec.failures) {
+    const std::size_t rack = static_cast<std::size_t>(g.tenant);
+    if (rack >= nodesByRack.size()) continue;
+    const std::vector<std::string>& nodes = nodesByRack[rack];
+    std::size_t n = g.count > 0 ? static_cast<std::size_t>(g.count)
+                                : nodes.size();
+    if (n > nodes.size()) n = nodes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      FaultEvent event;
+      event.at = secondsF(g.atS);
+      event.kind = FaultKind::kNodeDeath;
+      event.target = nodes[i];
+      plan.events.push_back(std::move(event));
+    }
+  }
+  return plan;
+}
+
+}  // namespace microedge

@@ -1,7 +1,9 @@
 #include "sweep/drivers.hpp"
 
 #include "models/zoo.hpp"
+#include "scenario/spec.hpp"
 #include "testbed/scenarios.hpp"
+#include "testbed/sharded_cluster.hpp"
 #include "util/strings.hpp"
 
 namespace microedge {
@@ -85,6 +87,89 @@ JsonValue runTraceSweepPoint(const SweepPoint& p) {
   return out;
 }
 
+// Overload-control bundles for the scenario driver, cumulative by design
+// (admit ⊂ degrade ⊂ full) so the sweep reads as an ablation.
+Status applyScenarioPolicy(const std::string& policy, SimDuration deadline,
+                           ShardedClusterConfig* config) {
+  if (policy == "none") return Status::ok();
+  config->frameDeadline = deadline;
+  config->frameAdmission.enabled = true;
+  if (policy == "admit") return Status::ok();
+  config->degradation.enabled = true;
+  if (policy == "degrade") return Status::ok();
+  if (policy == "full") {
+    config->repack.enabled = true;
+    return Status::ok();
+  }
+  return invalidArgument(strCat("sweep: unknown policy \"", policy,
+                                "\" (none|admit|degrade|full)"));
+}
+
+JsonValue runScenarioSweepPoint(const SweepPoint& p) {
+  auto fail = [](const Status& status) {
+    JsonValue err = JsonValue::object();
+    err.set("error", status.toString());
+    return err;
+  };
+  const std::string name = p.getString("scenario", "flashcrowd");
+  StatusOr<ScenarioSpec> specOr = builtinScenario(name);
+  if (!specOr.isOk()) return fail(specOr.status());
+  ScenarioSpec spec = *std::move(specOr);
+  spec.seed = pointSeed(p);
+  const double peak = p.getDouble("peak", 0.0);
+  if (peak > 0.0) {
+    for (FlashCrowdSpec& flash : spec.flash) flash.peakMultiplier = peak;
+  }
+
+  ShardedClusterConfig config;
+  config.shards = static_cast<unsigned>(p.getInt("shards", 1));
+  config.racks = static_cast<int>(p.getInt("racks", 2));
+  config.tRpisPerRack = 1;
+  config.vRpisPerRack = static_cast<int>(p.getInt("vrpis_per_rack", 4));
+  config.streamsPerVRpi = static_cast<int>(p.getInt("streams_per_vrpi", 2));
+  config.fps = p.getDouble("fps", 24.0);
+  const SimDuration slo = millisecondsF(p.getDouble("slo_ms", 60.0));
+  config.scenario.enabled = true;
+  config.scenario.spec = spec;
+  config.scenario.sloDeadline = slo;
+  const std::string policy = p.getString("policy", "none");
+  Status applied = applyScenarioPolicy(policy, slo, &config);
+  if (!applied.isOk()) return fail(applied);
+
+  ShardedCluster cluster(std::move(config));
+  if (!cluster.setupStatus().isOk()) return fail(cluster.setupStatus());
+  Status ran = cluster.runScenario();
+  if (!ran.isOk()) return fail(ran);
+
+  JsonValue out = JsonValue::object();
+  out.set("scenario", name);
+  out.set("policy", policy);
+  out.set("submitted", static_cast<std::int64_t>(cluster.totalSubmitted()));
+  out.set("completed", static_cast<std::int64_t>(cluster.totalCompleted()));
+  out.set("deadline_met",
+          static_cast<std::int64_t>(cluster.totalDeadlineMet()));
+  out.set("repacks", static_cast<std::int64_t>(cluster.totalRepacks()));
+  const std::uint64_t completed = cluster.totalCompleted();
+  out.set("attainment",
+          completed > 0 ? static_cast<double>(cluster.totalDeadlineMet()) /
+                              static_cast<double>(completed)
+                        : 1.0);
+  out.set("digest", strCat(cluster.digest()));
+  JsonValue phases = JsonValue::array();
+  for (const ShardedCluster::PhaseStats& ph : cluster.phaseStats()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", ph.name);
+    entry.set("completed", static_cast<std::int64_t>(ph.completed));
+    entry.set("deadline_met", static_cast<std::int64_t>(ph.deadlineMet));
+    entry.set("attainment", ph.attainment);
+    entry.set("goodput_fps", ph.goodputFps);
+    entry.set("repacks", static_cast<std::int64_t>(ph.repacks));
+    phases.push(std::move(entry));
+  }
+  out.set("phases", std::move(phases));
+  return out;
+}
+
 JsonValue scalabilityPointSpec(const char* series, const char* label,
                                const char* model, const char* mode, int tpus,
                                int tpusPerNode) {
@@ -105,8 +190,9 @@ JsonValue scalabilityPointSpec(const char* series, const char* label,
 StatusOr<SweepPointFn> findSweepDriver(const std::string& name) {
   if (name == "scalability") return SweepPointFn(runScalabilitySweepPoint);
   if (name == "trace") return SweepPointFn(runTraceSweepPoint);
+  if (name == "scenario") return SweepPointFn(runScenarioSweepPoint);
   return notFound(strCat("sweep: unknown driver \"", name,
-                         "\" (scalability|trace)"));
+                         "\" (scalability|trace|scenario)"));
 }
 
 SweepGrid fig5SweepGrid() {
@@ -184,12 +270,29 @@ SweepGrid smokeSweepGrid() {
   return grid;
 }
 
+SweepGrid scenarioSweepGrid() {
+  // SLO attainment x load shape x control policy: every builtin scenario
+  // against every overload-control bundle (the §15 ablation map).
+  std::vector<SweepGrid::Axis> axes;
+  axes.push_back({"scenario",
+                  {JsonValue("diurnal"), JsonValue("flashcrowd"),
+                   JsonValue("churn"), JsonValue("failures"),
+                   JsonValue("city")}});
+  axes.push_back({"policy",
+                  {JsonValue("none"), JsonValue("admit"), JsonValue("degrade"),
+                   JsonValue("full")}});
+  SweepGrid grid = SweepGrid::cartesian("scenario", std::move(axes), 41);
+  grid.setDriver("scenario");
+  return grid;
+}
+
 StatusOr<SweepGrid> builtinSweepGrid(const std::string& name) {
   if (name == "fig5") return fig5SweepGrid();
   if (name == "fig6") return fig6SweepGrid();
   if (name == "smoke") return smokeSweepGrid();
+  if (name == "scenario") return scenarioSweepGrid();
   return notFound(strCat("sweep: no built-in grid \"", name,
-                         "\" (fig5|fig6|smoke)"));
+                         "\" (fig5|fig6|smoke|scenario)"));
 }
 
 }  // namespace microedge

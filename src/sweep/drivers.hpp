@@ -13,6 +13,12 @@
 //   "trace" — one runTraceScenario (MAF-like replay) per point. Fields:
 //       mode, co_compile; optional horizon_min, capacity_units, window_s,
 //       seed.
+//   "scenario" — one ShardedCluster scenario run (DESIGN.md §15) per point:
+//       SLO attainment x load shape x control policy. Fields: scenario
+//       (builtin name: diurnal|flashcrowd|churn|failures|city), policy
+//       (none|admit|degrade|full); optional peak (flash-crowd multiplier
+//       override), fps, slo_ms, shards, racks, vrpis_per_rack,
+//       streams_per_vrpi, seed.
 //
 // The smoke grid is a milliseconds-cheap scalability grid (tiny horizon,
 // small camera cap) used by the CI determinism check and tests.
@@ -36,8 +42,12 @@ StatusOr<SweepPointFn> findSweepDriver(const std::string& name);
 SweepGrid fig5SweepGrid();   // scalability: Coral-Pie + BodyPix series
 SweepGrid fig6SweepGrid();   // trace: the five scheduling variants
 SweepGrid smokeSweepGrid();  // tiny deterministic grid for CI smoke
+// SLO attainment x load shape x {none, admit, degrade, full}: every builtin
+// scenario against every control-policy bundle.
+SweepGrid scenarioSweepGrid();
 
-// Grid by name ("fig5" | "fig6" | "smoke") -> NotFound otherwise.
+// Grid by name ("fig5" | "fig6" | "smoke" | "scenario") -> NotFound
+// otherwise.
 StatusOr<SweepGrid> builtinSweepGrid(const std::string& name);
 
 }  // namespace microedge

@@ -40,12 +40,12 @@ void StreamDegrader::onFrame() {
 }
 
 void StreamDegrader::applyRung() {
-  // period = nominal / multiplier, rounded to the nanosecond. Takes effect
-  // when the in-flight firing re-arms — no cancel/reschedule, so the event
-  // schedule mutation is deterministic wherever onFrame() was called from.
-  const double mult = config_.ladder[rung_];
-  task_.setPeriod(SimDuration{static_cast<std::int64_t>(
-      std::llround(static_cast<double>(nominalPeriod_.count()) / mult))});
+  // Hand the rung multiplier to the arbiter, which composes it with the
+  // scenario envelope and rounds (nanosecond, or the scenario lattice
+  // quantum). Takes effect when the in-flight firing re-arms — no
+  // cancel/reschedule, so the event schedule mutation is deterministic
+  // wherever onFrame() was called from.
+  rate_.setDegrade(config_.ladder[rung_]);
 }
 
 }  // namespace microedge

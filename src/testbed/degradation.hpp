@@ -12,16 +12,18 @@
 //
 // The controller is deliberately event-free: it piggybacks on the stream's
 // completion callback (onFrame() after every terminal outcome) and evaluates
-// one window every `windowFrames` terminals, adjusting the stream's
-// PeriodicTask period in place (PeriodicTask::setPeriod takes effect at the
-// next re-arm). No timer of its own means no new event timestamps — a
-// degradation-off run's event schedule is untouched byte for byte — and the
-// whole loop is a pure function of the stream's own outcome sequence, so a
-// run is exactly replayable from its seed. (Cross-shard-count byte-identity
-// is a non-goal with degradation on: a degraded stream's re-timed frames may
+// one window every `windowFrames` terminals, retuning the stream's period
+// through its StreamRateControl arbiter (rate_control.hpp), which composes
+// the rung multiplier with the scenario engine's rate envelope and applies
+// the one PeriodicTask::setPeriod — effective at the next re-arm. No timer
+// of its own means no new event timestamps — a degradation-off run's event
+// schedule is untouched byte for byte — and the whole loop is a pure
+// function of the stream's own outcome sequence, so a run is exactly
+// replayable from its seed. (Cross-shard-count byte-identity with
+// degradation on needs the arbiter's quantum lattice — see
+// rate_control.hpp; without it, a degraded stream's re-timed frames may
 // collide with another stream's timestamps, and same-timestamp tie order is
-// a per-shard-count property. The differential witness keeps degradation
-// off, like it keeps deadline streams rack-local.)
+// a per-shard-count property.)
 //
 // Hysteresis sketch (why it cannot flap): stepping down requires
 // `sustainWindows` consecutive windows with pressure >= stepDownPressure;
@@ -40,6 +42,7 @@
 
 #include "dataplane/tpu_client.hpp"
 #include "sim/simulator.hpp"
+#include "testbed/rate_control.hpp"
 #include "util/time.hpp"
 
 namespace microedge {
@@ -61,12 +64,12 @@ struct DegradationConfig {
 
 class StreamDegrader {
  public:
-  // `task` is the stream's frame source; `nominalPeriod` its full-rate
-  // period. The degrader never starts/stops the task, only retunes it.
-  StreamDegrader(TpuClient& client, PeriodicTask& task,
-                 SimDuration nominalPeriod, DegradationConfig config)
-      : client_(client), task_(task), nominalPeriod_(nominalPeriod),
-        config_(std::move(config)) {
+  // `rate` is the stream's period arbiter (the degrader owns the degrade
+  // input; the scenario envelope composes through the same arbiter). The
+  // degrader never starts/stops the task, only retunes it.
+  StreamDegrader(TpuClient& client, StreamRateControl& rate,
+                 DegradationConfig config)
+      : client_(client), rate_(rate), config_(std::move(config)) {
     if (config_.ladder.empty()) config_.ladder.push_back(1.0);
   }
 
@@ -85,8 +88,7 @@ class StreamDegrader {
   void applyRung();
 
   TpuClient& client_;
-  PeriodicTask& task_;
-  SimDuration nominalPeriod_;
+  StreamRateControl& rate_;
   DegradationConfig config_;
   std::uint64_t terminals_ = 0;
   // Previous window's cumulative bad-outcome count (admission-rejected +

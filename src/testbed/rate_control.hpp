@@ -1,0 +1,95 @@
+#pragma once
+
+// Per-stream frame-rate arbitration (DESIGN.md §15).
+//
+// Two controllers retune a camera stream's PeriodicTask period at runtime:
+// the scenario engine's rate *envelope* (diurnal curve x flash crowd, an fps
+// multiplier per tenant) and the §14 StreamDegrader's fps-ladder rung. Both
+// used to call setPeriod() directly, so whichever wrote last silently erased
+// the other. This arbiter owns the one setPeriod() call site and composes
+// the two inputs explicitly:
+//
+//   effective period = quantize(nominal / (envelope * degrade))
+//
+// Each setter stores its own multiplier and recomputes from both — an
+// envelope update and a rung change landing in the same window both survive,
+// in either order (the no-lost-update property the unit test pins).
+//
+// Quantization (the scenario determinism lattice): with a nonzero `quantum`
+// Q, every effective period is rounded to a positive multiple of Q. The
+// sharded harness starts stream uid u's first tick at a timestamp congruent
+// to u (mod Q); since PeriodicTask re-arms at lastFire + period and every
+// period is ≡ 0 (mod Q), the stream's ticks stay on residue u forever —
+// through any sequence of envelope/degrader retunes. Tick timestamps of
+// distinct streams therefore never collide, which is what keeps scenario
+// runs byte-identical across shard counts even as per-stream rates diverge
+// (same-timestamp tie order is the one per-shard-count property in the
+// event engine). quantum == 0 disables rounding: the effective period is
+// llround(nominal / multiplier), bit-identical to the historical
+// StreamDegrader::applyRung formula when the envelope is 1.
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace microedge {
+
+class StreamRateControl {
+ public:
+  // `task` is the stream's frame source; `nominalPeriod` its full-rate
+  // period. The arbiter never starts/stops the task, only retunes it.
+  StreamRateControl(PeriodicTask& task, SimDuration nominalPeriod,
+                    SimDuration quantum = {})
+      : task_(task), nominal_(nominalPeriod), quantum_(quantum) {}
+
+  StreamRateControl(const StreamRateControl&) = delete;
+  StreamRateControl& operator=(const StreamRateControl&) = delete;
+
+  // Scenario rate envelope (fps multiplier; 1.0 = nominal rate).
+  void setEnvelope(double multiplier) {
+    envelope_ = multiplier > 0.0 ? multiplier : 1.0;
+    apply();
+  }
+  // Degradation-ladder rung (fps multiplier; 1.0 = full rate).
+  void setDegrade(double multiplier) {
+    degrade_ = multiplier > 0.0 ? multiplier : 1.0;
+    apply();
+  }
+
+  double envelope() const { return envelope_; }
+  double degrade() const { return degrade_; }
+  SimDuration nominalPeriod() const { return nominal_; }
+  SimDuration quantum() const { return quantum_; }
+  SimDuration effectivePeriod() const {
+    return periodFor(nominal_, envelope_ * degrade_, quantum_);
+  }
+
+  // The shared rounding rule, exposed so the harness can pre-quantize the
+  // period it constructs the PeriodicTask with (the arbiter only writes on
+  // later retunes).
+  static SimDuration periodFor(SimDuration nominal, double fpsMultiplier,
+                               SimDuration quantum) {
+    std::int64_t ns = std::llround(static_cast<double>(nominal.count()) /
+                                   fpsMultiplier);
+    const std::int64_t q = quantum.count();
+    if (q > 0) {
+      // Round to the nearest positive multiple of the quantum.
+      ns = (ns + q / 2) / q * q;
+      if (ns < q) ns = q;
+    }
+    return SimDuration{ns};
+  }
+
+ private:
+  void apply() { task_.setPeriod(effectivePeriod()); }
+
+  PeriodicTask& task_;
+  SimDuration nominal_;
+  SimDuration quantum_;
+  double envelope_ = 1.0;
+  double degrade_ = 1.0;
+};
+
+}  // namespace microedge

@@ -1,11 +1,13 @@
 #include "testbed/sharded_cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "core/extended_scheduler.hpp"
 #include "models/zoo.hpp"
 #include "sim/topology.hpp"
 #include "util/backoff.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace microedge {
@@ -36,10 +38,24 @@ struct ShardedCluster::Stream {
   unsigned shard = 0;
   std::uint64_t uid = 0;
   bool evicted = false;
+  // Scenario churn state: a churn camera with joinAt > 0 is built (client,
+  // task, rate control) at setup but admitted — units, loads, LB config —
+  // by its join event mid-run; `joined` stays false if that admission
+  // fails. A leave event drains the stream: task + client stop, in-flight
+  // frames reach their terminal outcomes, units released after drainGrace.
+  bool churn = false;
+  bool joined = true;
+  bool departed = false;
+  SimDuration joinAt{};
+  SimDuration leaveAt{};
+  std::uint64_t deadlineMet = 0;  // completed within sloDeadline_
   std::uint64_t digest = kFnvOffset;
   std::unique_ptr<TpuClient> client;
   std::unique_ptr<PeriodicTask> task;
-  // Declared after task/client (destroyed first; it references both). Null
+  // Period arbiter (scenario envelope x degrader rung); declared after
+  // task (destroyed first; it references it).
+  std::unique_ptr<StreamRateControl> rate;
+  // Declared after rate/client (destroyed first; it references both). Null
   // unless degradation is enabled.
   std::unique_ptr<StreamDegrader> degrader;
 
@@ -76,6 +92,12 @@ struct ShardedCluster::RackControl {
   std::unique_ptr<AdmissionController> admission;
   std::unique_ptr<Reclamation> reclamation;
   std::unique_ptr<FailureRecovery> recovery;
+  // SLO-attainment-triggered repacking (config.repack; null when off): the
+  // supervisor ticks on the rack's own shard and replans through the same
+  // weight-push path failure recovery uses.
+  std::unique_ptr<Defragmenter> defrag;
+  std::unique_ptr<RepackSupervisor> repackSupervisor;
+  std::unique_ptr<PeriodicTask> repackTask;
 };
 
 ShardedCluster::ShardedCluster(ShardedClusterConfig config)
@@ -155,7 +177,29 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
   const double units = config_.tpuUnits > 0.0
                            ? config_.tpuUnits
                            : zoo_.at(config_.model).tpuUnitsAt(config_.fps);
-  const SimDuration period = secondsF(1.0 / config_.fps);
+  streamUnits_ = units;
+  const SimDuration nominalPeriod = secondsF(1.0 / config_.fps);
+  const bool scenarioOn = config_.scenario.enabled;
+  SimDuration quantum{};
+  if (scenarioOn) {
+    setupStatus_ = config_.scenario.spec.validate();
+    if (!setupStatus_.isOk()) return;
+    compiled_ = compileScenario(config_.scenario.spec, racks);
+    quantum = SimDuration{config_.scenario.spec.quantumNs};
+    sloDeadline_ = config_.scenario.sloDeadline > SimDuration::zero()
+                       ? config_.scenario.sloDeadline
+                       : config_.frameDeadline;
+  } else {
+    // Repack attainment accounting without a scenario judges against the
+    // enforced frame deadline (zero keeps the counter off).
+    sloDeadline_ = config_.frameDeadline;
+  }
+  // Scenario runs start on the tick lattice (rate_control.hpp): the period
+  // is quantized up front and every stream's first fire lands on its own
+  // uid residue, so retimed tick sets stay disjoint at every shard count.
+  const SimDuration period =
+      scenarioOn ? StreamRateControl::periodFor(nominalPeriod, 1.0, quantum)
+                 : nominalPeriod;
   // Camera host list: every vRPi `streamsPerVRpi` times, then every tRPi
   // `streamsPerTRpi` times. The default (1, 0) is byte-identical to the
   // historical one-stream-per-vRPi workload — same hosts, uids and phases.
@@ -174,34 +218,51 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
       for (int k = 0; k < perT; ++k) cameras.push_back(host);
     }
   }
-  const int total = static_cast<int>(cameras.size());
-  streams_.reserve(cameras.size());
+  // Churn cameras (scenario only) are appended after the base set so base
+  // uids/phases are unchanged; each is placed round-robin over its tenant
+  // rack's vRPis.
+  struct ChurnHost {
+    RpiNode* host = nullptr;
+    SimDuration joinAt{};
+    SimDuration leaveAt{};
+  };
+  std::vector<ChurnHost> churnCameras;
+  if (scenarioOn && !compiled_.churn.empty()) {
+    std::vector<std::vector<RpiNode*>> vRpisByRack(
+        static_cast<std::size_t>(racks));
+    for (RpiNode* host : topology_->vRpis()) {
+      int r = ShardMap::rackOfName(host->name());
+      if (r < 0) r = 0;
+      vRpisByRack[static_cast<std::size_t>(r)].push_back(host);
+    }
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(racks), 0);
+    for (const ScenarioChurnCamera& cam : compiled_.churn) {
+      const std::size_t r = static_cast<std::size_t>(cam.tenant % racks);
+      if (vRpisByRack[r].empty()) {
+        setupStatus_ =
+            invalidArgument("scenario: churn tenant rack has no vRPis");
+        return;
+      }
+      RpiNode* host = vRpisByRack[r][cursor[r]++ % vRpisByRack[r].size()];
+      churnCameras.push_back({host, cam.joinAt, cam.leaveAt});
+    }
+  }
+  const int base = static_cast<int>(cameras.size());
+  const int total = base + static_cast<int>(churnCameras.size());
+  setupStatus_ = validateScenario(static_cast<std::size_t>(total));
+  if (!setupStatus_.isOk()) return;
+  streams_.reserve(static_cast<std::size_t>(total));
   for (int i = 0; i < total; ++i) {
-    RpiNode* camera = cameras[static_cast<std::size_t>(i)];
+    const bool isChurn = i >= base;
+    RpiNode* camera =
+        isChurn ? churnCameras[static_cast<std::size_t>(i - base)].host
+                : cameras[static_cast<std::size_t>(i)];
     int rack = ShardMap::rackOfName(camera->name());
     if (rack < 0) rack = 0;
-    const bool cross = racks > 1 && config_.crossRackStride > 0 &&
+    const bool cross = !isChurn && racks > 1 && config_.crossRackStride > 0 &&
                        i % config_.crossRackStride == 0;
     const int targetRack = cross ? (rack + 1) % racks : rack;
     const std::uint64_t uid = static_cast<std::uint64_t>(i) + 1;
-
-    RackControl& rc = *racks_[static_cast<std::size_t>(targetRack)];
-    auto admitted =
-        rc.admission->admit(uid, config_.model, TpuUnit::fromDouble(units));
-    if (!admitted.isOk()) {
-      setupStatus_ = admitted.status();
-      return;
-    }
-    for (const LoadCommand& load : admitted->loads) {
-      Status s = dataPlane_->executeLoad(load);
-      if (!s.isOk()) {
-        setupStatus_ = s;
-        return;
-      }
-    }
-    const LbConfig lb =
-        ExtendedScheduler::lbConfigFromAllocation(admitted->allocation);
-    rc.reclamation->track(uid, std::move(admitted)->allocation);
 
     auto stream = std::make_unique<Stream>();
     stream->camera = camera->name();
@@ -209,6 +270,37 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
     stream->crossRack = cross;
     stream->shard = shardOfName(camera->name());
     stream->uid = uid;
+    if (isChurn) {
+      const ChurnHost& churn = churnCameras[static_cast<std::size_t>(i - base)];
+      stream->churn = true;
+      stream->joinAt = churn.joinAt;
+      stream->leaveAt = churn.leaveAt;
+    }
+
+    RackControl& rc = *racks_[static_cast<std::size_t>(targetRack)];
+    LbConfig lb;
+    // Churn cameras with a positive join time defer admission (units, weight
+    // loads, LB config) to their join event; everyone else admits at setup.
+    const bool admitNow = stream->joinAt == SimDuration::zero();
+    if (admitNow) {
+      auto admitted =
+          rc.admission->admit(uid, config_.model, TpuUnit::fromDouble(units));
+      if (!admitted.isOk()) {
+        setupStatus_ = admitted.status();
+        return;
+      }
+      for (const LoadCommand& load : admitted->loads) {
+        Status s = dataPlane_->executeLoad(load);
+        if (!s.isOk()) {
+          setupStatus_ = s;
+          return;
+        }
+      }
+      lb = ExtendedScheduler::lbConfigFromAllocation(admitted->allocation);
+      rc.reclamation->track(uid, std::move(admitted)->allocation);
+    } else {
+      stream->joined = false;
+    }
 
     TpuClient::Config clientConfig;
     clientConfig.clientNode = camera->name();
@@ -229,10 +321,12 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
     // frame seq) — identical at every shard count AND for batched ingest.
     clientConfig.streamToken = uid;
     stream->client = dataPlane_->makeClient(std::move(clientConfig));
-    Status configured = stream->client->configureLb(lb);
-    if (!configured.isOk()) {
-      setupStatus_ = configured;
-      return;
+    if (admitNow) {
+      Status configured = stream->client->configureLb(lb);
+      if (!configured.isOk()) {
+        setupStatus_ = configured;
+        return;
+      }
     }
 
     Stream* raw = stream.get();
@@ -246,24 +340,37 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
         cross && map.shardOfRack(targetRack) != stream->shard;
     stream->task = std::make_unique<PeriodicTask>(
         sim, period,
-        [raw] {
-          (void)raw->client->invoke([raw](const FrameBreakdown& b) {
+        [this, raw] {
+          (void)raw->client->invoke([this, raw](const FrameBreakdown& b) {
             raw->fold(b);
+            if (sloDeadline_ > SimDuration::zero() &&
+                b.outcome == FrameOutcome::kCompleted &&
+                b.endToEnd() <= sloDeadline_) {
+              ++raw->deadlineMet;
+            }
             if (raw->degrader) raw->degrader->onFrame();
           });
         },
         crossShard);
+    stream->rate = std::make_unique<StreamRateControl>(*stream->task,
+                                                       nominalPeriod, quantum);
     if (config_.degradation.enabled) {
       stream->degrader = std::make_unique<StreamDegrader>(
-          *stream->client, *stream->task, period, config_.degradation);
+          *stream->client, *stream->rate, config_.degradation);
     }
     // Stagger camera phases so no two frames in the cluster ever share a
     // timestamp: the global event order — and with it every breakdown — is
-    // then independent of how shards interleave.
+    // then independent of how shards interleave. Scenario runs snap the
+    // staggered start onto the stream's lattice residue instead.
     const SimDuration phase = (period * (i + 1)) / (total + 1);
-    stream->task->startAt(sim.now() + phase);
+    if (admitNow) {
+      stream->task->startAt(scenarioOn ? latticeTick(sim.now() + phase, uid)
+                                       : sim.now() + phase);
+    }
     streams_.push_back(std::move(stream));
   }
+  if (scenarioOn) armScenarioTimeline();
+  if (config_.repack.enabled) armRepackSupervisors();
 }
 
 ShardedCluster::~ShardedCluster() = default;
@@ -401,12 +508,260 @@ void ShardedCluster::armFaults(const FaultPlan& plan) {
   }
 }
 
+Status ShardedCluster::validateScenario(std::size_t totalStreams) const {
+  if (!config_.scenario.enabled) return Status::ok();
+  // The lattice argument (rate_control.hpp) needs every stream to share one
+  // arrival-time constant: rack-local targets only (no cross-rack hops) and
+  // vRPi camera hosts only (tRPi-hosted streams ride loopback lanes with a
+  // different constant). Residues must also be unique, so the quantum has to
+  // exceed the stream count.
+  if (config_.crossRackStride != 0) {
+    return invalidArgument(
+        "scenario: requires rack-local streams (crossRackStride == 0)");
+  }
+  if (config_.streamsPerTRpi != 0) {
+    return invalidArgument(
+        "scenario: requires vRPi-hosted streams (streamsPerTRpi == 0)");
+  }
+  const std::int64_t quantum = config_.scenario.spec.quantumNs;
+  if (quantum > 0 && static_cast<std::int64_t>(totalStreams) >= quantum) {
+    return invalidArgument(
+        "scenario: quantum_ns must exceed the stream count (uids are "
+        "lattice residues)");
+  }
+  return Status::ok();
+}
+
+SimTime ShardedCluster::latticeTick(SimTime notBefore,
+                                    std::uint64_t uid) const {
+  const std::int64_t q = config_.scenario.spec.quantumNs;
+  if (q <= 0) return notBefore;
+  const std::int64_t at = notBefore.time_since_epoch().count();
+  const std::int64_t next = (at / q + 1) * q;
+  return SimTime{SimDuration{next + static_cast<std::int64_t>(uid)}};
+}
+
+void ShardedCluster::armScenarioTimeline() {
+  scenarioBase_ = sharded_->now();
+  // Envelope rate updates: one emitter-tagged event per (update, affected
+  // stream) on the stream's owner shard. setEnvelope() retunes the task at
+  // its next re-arm, so the retimed ticks stay on the stream's lattice
+  // residue. All timeline events are scheduled here at setup, in stream
+  // order, so their same-timestamp sequence is shard-count invariant.
+  for (const ScenarioRateUpdate& update : compiled_.rateUpdates) {
+    for (const auto& s : streams_) {
+      if (update.tenant >= 0 && s->targetRack != update.tenant) continue;
+      sharded_->postToShard(
+          s->shard, scenarioBase_ + update.at,
+          [rate = s->rate.get(), m = update.multiplier] {
+            rate->setEnvelope(m);
+          },
+          /*emitter=*/true);
+    }
+  }
+  // Churn joins and leaves. A leave stops the task and the client (in-flight
+  // frames drain to their terminal outcomes and credit the ledger), then
+  // releases the admitted units one drain-grace later on the rack's control
+  // shard — which IS the stream's shard, scenario streams being rack-local.
+  for (const auto& sp : streams_) {
+    Stream* s = sp.get();
+    if (s->joinAt > SimDuration::zero()) {
+      sharded_->postToShard(
+          s->shard, scenarioBase_ + s->joinAt, [this, s] { joinStream(s); },
+          /*emitter=*/true);
+    }
+    if (s->leaveAt > SimDuration::zero()) {
+      sharded_->postToShard(
+          s->shard, scenarioBase_ + s->leaveAt,
+          [s] {
+            s->departed = true;
+            s->task->stop();
+            s->client->stop();
+          },
+          /*emitter=*/true);
+      sharded_->postToShard(
+          s->shard, scenarioBase_ + s->leaveAt + config_.scenario.drainGrace,
+          [this, s] {
+            if (s->joined) {
+              (void)racks_[static_cast<std::size_t>(s->targetRack)]
+                  ->reclamation->releaseNow(s->uid);
+            }
+          },
+          /*emitter=*/true);
+    }
+  }
+  // Correlated failures ride the standard fault-plan path: compile the
+  // rack-scoped groups against this topology's tRPi names and arm them like
+  // any hand-written plan.
+  std::vector<std::vector<std::string>> tRpisByRack(
+      static_cast<std::size_t>(config_.racks));
+  for (RpiNode* node : topology_->tRpis()) {
+    int r = ShardMap::rackOfName(node->name());
+    if (r < 0) r = 0;
+    tRpisByRack[static_cast<std::size_t>(r)].push_back(node->name());
+  }
+  FaultPlan plan = compileScenarioFaults(config_.scenario.spec, tRpisByRack);
+  if (!plan.events.empty()) armFaults(plan);
+}
+
+void ShardedCluster::joinStream(Stream* stream) {
+  // Runs as an event on the stream's shard — the rack's control shard, so
+  // pool/admission state is touched only by its owner. A full rack (or one
+  // gutted by a failure group) deterministically refuses the join: the
+  // camera simply never starts.
+  RackControl& rc = *racks_[static_cast<std::size_t>(stream->targetRack)];
+  auto admitted = rc.admission->admit(stream->uid, config_.model,
+                                      TpuUnit::fromDouble(streamUnits_));
+  if (!admitted.isOk()) return;
+  for (const LoadCommand& load : admitted->loads) {
+    Status s = dataPlane_->executeLoad(load);
+    if (!s.isOk() && dataPlane_->service(load.tpuId) != nullptr) {
+      dataPlane_->executeLoadWithRetry(load, ExpBackoff{}, {});
+    }
+  }
+  const LbConfig lb =
+      ExtendedScheduler::lbConfigFromAllocation(admitted->allocation);
+  rc.reclamation->track(stream->uid, std::move(admitted)->allocation);
+  (void)stream->client->configureLb(lb);
+  stream->joined = true;
+  Simulator& sim = sharded_->shardSim(stream->shard);
+  stream->task->startAt(latticeTick(sim.now(), stream->uid));
+}
+
+void ShardedCluster::armRepackSupervisors() {
+  for (const auto& rcp : racks_) {
+    RackControl* rc = rcp.get();
+    Defragmenter::Callbacks callbacks;
+    callbacks.loadModel = [this](const LoadCommand& command) {
+      Status s = dataPlane_->executeLoad(command);
+      if (s.isOk() || dataPlane_->service(command.tpuId) == nullptr) return s;
+      dataPlane_->executeLoadWithRetry(command, ExpBackoff{}, {});
+      return Status::ok();
+    };
+    callbacks.reconfigureLb = [this](std::uint64_t uid, const LbConfig& lb) {
+      pushLbConfig(uid, lb);
+    };
+    rc->defrag = std::make_unique<Defragmenter>(
+        *rc->admission, *rc->reclamation, std::move(callbacks));
+    const int rack = rc->rack;
+    rc->repackSupervisor = std::make_unique<RepackSupervisor>(
+        config_.repack,
+        [this, rack] {
+          // Windowed attainment over the rack's own (rack-local) streams:
+          // good = frames inside the SLO bound when one is set, else all
+          // completions; total = every terminal outcome.
+          RepackSupervisor::Sample sample;
+          for (const auto& s : streams_) {
+            if (s->targetRack != rack || s->crossRack) continue;
+            sample.good += sloDeadline_ > SimDuration::zero()
+                               ? s->deadlineMet
+                               : s->client->completedCount();
+            for (std::size_t o = 0; o < kFrameOutcomeCount; ++o) {
+              const auto outcome = static_cast<FrameOutcome>(o);
+              if (outcome == FrameOutcome::kInFlight) continue;
+              sample.total += s->client->outcomeCount(outcome);
+            }
+          }
+          return sample;
+        },
+        [rc] { return rc->defrag->replanAll(); });
+    // The supervisor ticks on the rack's own shard; emitter-tagged because a
+    // triggered repack pushes weights at +lookahead (a cross-shard cascade
+    // root the adaptive window bound must see).
+    Simulator& sim = sharded_->shardSim(rc->shard);
+    rc->repackTask = std::make_unique<PeriodicTask>(
+        sim, config_.repack.window,
+        [supervisor = rc->repackSupervisor.get()] {
+          (void)supervisor->onWindow();
+        },
+        /*emitter=*/true);
+    rc->repackTask->startAt(sim.now() + config_.repack.window);
+  }
+}
+
+Status ShardedCluster::runScenario() {
+  if (!setupStatus_.isOk()) return setupStatus_;
+  if (!config_.scenario.enabled) {
+    return failedPrecondition("runScenario: scenario not enabled");
+  }
+  if (scenarioRan_) {
+    return failedPrecondition("runScenario: already ran");
+  }
+  scenarioRan_ = true;
+  for (std::size_t p = 0; p < compiled_.phaseEnds.size(); ++p) {
+    const SimTime target = scenarioBase_ + compiled_.phaseEnds[p];
+    const SimDuration remaining = target - sharded_->now();
+    if (remaining > SimDuration::zero()) sharded_->runFor(remaining);
+    samplePhase(p);
+  }
+  return Status::ok();
+}
+
+void ShardedCluster::samplePhase(std::size_t phase) {
+  // Cumulative snapshot at the phase boundary (every shard is barrier-synced
+  // here: runScenario() only samples between runFor() segments), then delta
+  // against the previous boundary.
+  PhaseStats cum;
+  cum.name = compiled_.phaseNames[phase];
+  cum.end = compiled_.phaseEnds[phase];
+  const std::size_t rungs =
+      std::max<std::size_t>(1, config_.degradation.ladder.size());
+  cum.rungOccupancy.assign(rungs, 0);
+  for (const auto& s : streams_) {
+    cum.submitted += s->client->submittedCount();
+    cum.completed += s->client->completedCount();
+    cum.deadlineMet += s->deadlineMet;
+    cum.admissionRejected +=
+        s->client->outcomeCount(FrameOutcome::kAdmissionRejected);
+    cum.timedOut += s->client->outcomeCount(FrameOutcome::kTimedOut);
+    cum.shed += s->client->outcomeCount(FrameOutcome::kShed);
+    if (s->degrader != nullptr) {
+      cum.degradeDowns += s->degrader->stepDowns();
+      cum.degradeUps += s->degrader->stepUps();
+    }
+    if (s->task->running()) {
+      ++cum.activeStreams;
+      std::size_t rung = s->degrader != nullptr ? s->degrader->rung() : 0;
+      if (rung >= rungs) rung = rungs - 1;
+      ++cum.rungOccupancy[rung];
+    }
+  }
+  cum.repacks = totalRepacks();
+
+  PhaseStats delta = cum;  // name/end/activeStreams/rungOccupancy stay as-is
+  delta.submitted -= phaseCursor_.submitted;
+  delta.completed -= phaseCursor_.completed;
+  delta.deadlineMet -= phaseCursor_.deadlineMet;
+  delta.admissionRejected -= phaseCursor_.admissionRejected;
+  delta.timedOut -= phaseCursor_.timedOut;
+  delta.shed -= phaseCursor_.shed;
+  delta.degradeDowns -= phaseCursor_.degradeDowns;
+  delta.degradeUps -= phaseCursor_.degradeUps;
+  delta.repacks -= phaseCursor_.repacks;
+  const SimDuration start =
+      phase == 0 ? SimDuration::zero() : compiled_.phaseEnds[phase - 1];
+  const double seconds =
+      static_cast<double>((cum.end - start).count()) / 1e9;
+  delta.attainment = delta.completed > 0
+                         ? static_cast<double>(delta.deadlineMet) /
+                               static_cast<double>(delta.completed)
+                         : 1.0;
+  delta.goodputFps =
+      seconds > 0.0 ? static_cast<double>(delta.deadlineMet) / seconds : 0.0;
+  phases_.push_back(std::move(delta));
+  phaseCursor_ = std::move(cum);
+}
+
 ShardedCluster::StreamStats ShardedCluster::streamStats(
     std::size_t index) const {
   const Stream& stream = *streams_[index];
   StreamStats stats;
   stats.camera = stream.camera;
   stats.crossRack = stream.crossRack;
+  stats.churn = stream.churn;
+  stats.joined = stream.joined;
+  stats.departed = stream.departed;
+  stats.deadlineMet = stream.deadlineMet;
   stats.submitted = stream.client->submittedCount();
   stats.completed = stream.client->completedCount();
   stats.failovers = stream.client->failoverCount();
@@ -456,6 +811,22 @@ std::uint64_t ShardedCluster::totalDegradeUps() const {
   return n;
 }
 
+std::uint64_t ShardedCluster::totalDeadlineMet() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) n += s->deadlineMet;
+  return n;
+}
+
+std::uint64_t ShardedCluster::totalRepacks() const {
+  std::uint64_t n = 0;
+  for (const auto& rc : racks_) {
+    if (rc->repackSupervisor != nullptr) {
+      n += rc->repackSupervisor->repacksTriggered();
+    }
+  }
+  return n;
+}
+
 std::uint64_t ShardedCluster::digest() const {
   std::uint64_t h = kFnvOffset;
   for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -488,6 +859,39 @@ std::string ShardedCluster::metricsJson(bool withSimStats) const {
                 ",\n  \"totalDegradeDowns\": ", totalDegradeDowns(),
                 ",\n  \"totalDegradeUps\": ", totalDegradeUps(),
                 ",\n  \"digest\": ", digest());
+  if (config_.scenario.enabled) {
+    // Scenario runs append the per-phase windowed metrics series; like the
+    // rest of the dump it is pure counter arithmetic, so it sits on the
+    // byte-compared differential path.
+    out += strCat(",\n  \"scenario\": {\n    \"name\": \"",
+                  config_.scenario.spec.name, "\",\n    \"fingerprint\": \"",
+                  config_.scenario.spec.fingerprint(),
+                  "\",\n    \"totalDeadlineMet\": ", totalDeadlineMet(),
+                  ",\n    \"totalRepacks\": ", totalRepacks(),
+                  ",\n    \"phases\": [");
+    for (std::size_t p = 0; p < phases_.size(); ++p) {
+      const PhaseStats& ph = phases_[p];
+      out += strCat(p == 0 ? "\n" : ",\n", "      {\"name\": \"", ph.name,
+                    "\", \"endMs\": ", ph.end.count() / 1000000,
+                    ", \"submitted\": ", ph.submitted,
+                    ", \"completed\": ", ph.completed,
+                    ", \"deadlineMet\": ", ph.deadlineMet,
+                    ", \"admissionRejected\": ", ph.admissionRejected,
+                    ", \"timedOut\": ", ph.timedOut, ", \"shed\": ", ph.shed,
+                    ", \"degradeDowns\": ", ph.degradeDowns,
+                    ", \"degradeUps\": ", ph.degradeUps,
+                    ", \"repacks\": ", ph.repacks,
+                    ", \"activeStreams\": ", ph.activeStreams,
+                    ", \"attainment\": ", jsonFormatDouble(ph.attainment),
+                    ", \"goodputFps\": ", jsonFormatDouble(ph.goodputFps),
+                    ", \"rungOccupancy\": [");
+      for (std::size_t r = 0; r < ph.rungOccupancy.size(); ++r) {
+        out += strCat(r == 0 ? "" : ", ", ph.rungOccupancy[r]);
+      }
+      out += "]}";
+    }
+    out += "\n    ]\n  }";
+  }
   if (withSimStats) {
     // Opt-in: window counts vary with shard count / window mode and stall
     // time is wall-clock — none of it may leak into the byte-compared

@@ -45,16 +45,42 @@
 
 #include "cluster/topology.hpp"
 #include "core/admission.hpp"
+#include "core/defragmenter.hpp"
 #include "core/failure_recovery.hpp"
+#include "core/overload_supervisor.hpp"
 #include "core/reclamation.hpp"
 #include "dataplane/dataplane.hpp"
 #include "models/registry.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sharded_sim.hpp"
 #include "testbed/degradation.hpp"
 #include "util/status.hpp"
 
 namespace microedge {
+
+// Scenario engine attachment (DESIGN.md §15): when enabled, the spec is
+// compiled at construction and its whole timeline — envelope rate updates,
+// churn joins/leaves, correlated failures — is pre-armed as emitter-tagged
+// events on the owner shards, exactly like a fault plan. Scenario runs keep
+// the cross-shard-count byte-identity witness through the tick lattice
+// (testbed/rate_control.hpp): they require rack-local, vRPi-hosted streams
+// (crossRackStride == 0, streamsPerTRpi == 0) so every stream shares one
+// arrival-time constant, and a quantum larger than the stream count so each
+// stream owns a unique tick residue.
+struct ScenarioRunConfig {
+  bool enabled = false;
+  ScenarioSpec spec;
+  // Nominal deadline for SLO-attainment accounting (the per-phase
+  // deadlineMet counter); falls back to frameDeadline when zero. Purely an
+  // accounting bound — it never sheds or times out frames, so policy "none"
+  // runs can still be judged against the bound the others enforce.
+  SimDuration sloDeadline{};
+  // Gap between a departing camera's drain (task + client stop) and the
+  // release of its admitted units back to the rack pool.
+  SimDuration drainGrace = milliseconds(250);
+};
 
 struct ShardedClusterConfig {
   unsigned shards = 1;
@@ -104,10 +130,18 @@ struct ShardedClusterConfig {
   // streams run deadline-free, which disables the ledger's estimate). Off
   // keeps the submit path — and the default dump — byte-identical.
   FrameAdmissionConfig frameAdmission{};
-  // Per-stream fps-ladder degradation. Runs with it are deterministic and
-  // seed-replayable per shard count, but re-timed frames leave the
-  // cross-shard-count byte-identity path (see degradation.hpp).
+  // Per-stream fps-ladder degradation. With the scenario lattice (quantum
+  // > 0) re-timed streams keep their unique tick residues, so degraded runs
+  // stay on the cross-shard-count byte-identity path; without it they are
+  // deterministic and seed-replayable per shard count only (see
+  // rate_control.hpp).
   DegradationConfig degradation{};
+  // Time-varying workload driven by the scenario engine (off by default —
+  // the default dump is byte-identical to a build without it).
+  ScenarioRunConfig scenario{};
+  // SLO-attainment-triggered repacking, one supervisor per rack on the
+  // rack's own shard (off by default).
+  RepackSupervisorConfig repack{};
 };
 
 class ShardedCluster {
@@ -127,6 +161,11 @@ class ShardedCluster {
   void armFaults(const FaultPlan& plan);
 
   void run(SimDuration horizon) { sharded_->runFor(horizon); }
+  // Runs the armed scenario to its horizon, segment by segment, snapshotting
+  // the per-phase metrics series at every phase boundary (all shards are
+  // barrier-synced between segments, so sampling reads no mid-window state).
+  // Requires scenario.enabled; call at most once.
+  Status runScenario();
   // Stops every camera (call between run()s, never inside one); a
   // subsequent run() then drains in-flight frames to terminal outcomes.
   void stopStreams();
@@ -142,8 +181,12 @@ class ShardedCluster {
   struct StreamStats {
     std::string camera;
     bool crossRack = false;
+    bool churn = false;      // scenario churn camera (join/leave mid-run)
+    bool joined = true;      // admitted and configured (false: join failed)
+    bool departed = false;   // drained out by a scenario leave event
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
+    std::uint64_t deadlineMet = 0;  // completed within the SLO deadline
     std::uint64_t failovers = 0;
     std::uint64_t degradeDowns = 0;  // fps-ladder steps down (0 when off)
     std::uint64_t degradeUps = 0;    // recovery steps back up
@@ -151,6 +194,31 @@ class ShardedCluster {
     std::uint64_t digest = 0;  // FNV-1a over completed breakdowns, in order
   };
   StreamStats streamStats(std::size_t index) const;
+
+  // One scenario phase's windowed metrics (deltas between boundaries except
+  // where noted). Deterministic counter arithmetic only — the series is part
+  // of the byte-compared scenario dump.
+  struct PhaseStats {
+    std::string name;
+    SimDuration end{};
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadlineMet = 0;
+    std::uint64_t admissionRejected = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degradeDowns = 0;
+    std::uint64_t degradeUps = 0;
+    std::uint64_t repacks = 0;
+    std::uint64_t activeStreams = 0;  // tasks running at the boundary
+    std::vector<std::uint64_t> rungOccupancy;  // streams per ladder rung
+    double attainment = 1.0;  // deadlineMet / completed over the phase
+    double goodputFps = 0.0;  // deadlineMet / phase seconds
+  };
+  const std::vector<PhaseStats>& phaseStats() const { return phases_; }
+  std::uint64_t totalDeadlineMet() const;
+  // Repacks triggered across all rack supervisors (0 with repack off).
+  std::uint64_t totalRepacks() const;
   std::uint64_t totalSubmitted() const;
   std::uint64_t totalCompleted() const;
   std::uint64_t outcomeTotal(FrameOutcome outcome) const;
@@ -182,6 +250,17 @@ class ShardedCluster {
   void evictStream(std::uint64_t uid);
   void armTpuFailure(const std::string& tpuId, SimTime at,
                      SimDuration detectionDelay);
+  // Scenario wiring (all no-ops with scenario off).
+  Status validateScenario(std::size_t totalStreams) const;
+  // Smallest lattice timestamp strictly after `notBefore` owned by `uid`
+  // (t ≡ uid mod quantum — see rate_control.hpp).
+  SimTime latticeTick(SimTime notBefore, std::uint64_t uid) const;
+  // Mid-run admission of a churn camera; runs as an event on the stream's
+  // shard at its join time.
+  void joinStream(Stream* stream);
+  void armScenarioTimeline();
+  void armRepackSupervisors();
+  void samplePhase(std::size_t phase);
 
   ShardedClusterConfig config_;
   ModelRegistry zoo_;
@@ -192,6 +271,14 @@ class ShardedCluster {
   std::vector<std::unique_ptr<Stream>> streams_;
   Status setupStatus_ = Status::ok();
   bool faultsArmed_ = false;
+  // Scenario state (empty/zero with scenario off).
+  CompiledScenario compiled_;
+  double streamUnits_ = 0.0;      // admitted units per stream (churn joins)
+  SimDuration sloDeadline_{};     // deadlineMet accounting bound
+  SimTime scenarioBase_{};        // sim time the timeline was armed at
+  std::vector<PhaseStats> phases_;
+  PhaseStats phaseCursor_;        // cumulative snapshot behind the deltas
+  bool scenarioRan_ = false;
 };
 
 }  // namespace microedge

@@ -572,6 +572,74 @@ Testbed::NodeFailureReport Testbed::failNode(const std::string& nodeName) {
   return report;
 }
 
+Status Testbed::applyScenario(const ScenarioSpec& spec,
+                              const CameraDeployment& churnTemplate) {
+  if (scenarioArmed_) {
+    return failedPrecondition("applyScenario: one scenario per testbed");
+  }
+  Status valid = spec.validate();
+  if (!valid.isOk()) return valid;
+  scenarioArmed_ = true;
+  const CompiledScenario compiled = compileScenario(spec, /*tenants=*/1);
+  const SimTime base = sim_.now();
+
+  // Envelope: every update retunes all cameras live right now through their
+  // rate arbiters, so a degrader rung applied later composes instead of
+  // being overwritten.
+  for (CameraPipeline* pipeline : liveCameras()) {
+    scenarioRates_.push_back(std::make_unique<StreamRateControl>(
+        pipeline->camera().task(), pipeline->camera().framePeriodDuration()));
+  }
+  for (const ScenarioRateUpdate& update : compiled.rateUpdates) {
+    sim_.schedule(base + update.at, [this, m = update.multiplier] {
+      for (const auto& rate : scenarioRates_) rate->setEnvelope(m);
+    });
+  }
+
+  // Churn: each compiled entry deploys its own camera (join) and removes it
+  // again (leave) — ordinary control-plane calls, just fired from events
+  // instead of between run() segments. Removed pipelines retire, not die,
+  // so in-flight frames drain to terminal outcomes as usual.
+  int index = 0;
+  for (const ScenarioChurnCamera& cam : compiled.churn) {
+    CameraDeployment deployment = churnTemplate;
+    if (deployment.model.empty()) deployment.model = zoo::kMobileNetV1;
+    if (deployment.name.empty()) deployment.name = "scenario-cam";
+    deployment.name = strCat(deployment.name, "-", index++);
+    if (cam.joinAt > SimDuration::zero()) {
+      sim_.schedule(base + cam.joinAt, [this, deployment] {
+        StatusOr<CameraPipeline*> joined = deployCamera(deployment);
+        if (!joined.isOk()) {
+          ME_LOG(kWarning) << "scenario join " << deployment.name
+                           << " failed: " << joined.status().toString();
+        }
+      });
+    } else {
+      StatusOr<CameraPipeline*> deployed = deployCamera(deployment);
+      if (!deployed.isOk()) return deployed.status();
+    }
+    if (cam.leaveAt > SimDuration::zero()) {
+      sim_.schedule(base + cam.leaveAt, [this, name = deployment.name] {
+        Status left = removeCamera(name);
+        if (!left.isOk()) {
+          ME_LOG(kWarning) << "scenario leave " << name
+                           << " failed: " << left.toString();
+        }
+      });
+    }
+  }
+
+  // Correlated failures ride the standard fault-plan path (single-tenant:
+  // every tRPi sits in group 0).
+  std::vector<std::vector<std::string>> nodesByRack(1);
+  for (RpiNode* node : topology_.tRpis()) {
+    nodesByRack[0].push_back(node->name());
+  }
+  FaultPlan plan = compileScenarioFaults(spec, nodesByRack);
+  if (!plan.events.empty()) armFaults(plan);
+  return Status::ok();
+}
+
 FaultInjector& Testbed::armFaults(const FaultPlan& plan) {
   assert(faultInjector_ == nullptr && "one fault plan per testbed");
   FaultInjector::Hooks hooks;

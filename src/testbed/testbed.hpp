@@ -33,7 +33,10 @@
 #include "metrics/utilization.hpp"
 #include "models/zoo.hpp"
 #include "orch/api_server.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
 #include "sim/fault_injector.hpp"
+#include "testbed/rate_control.hpp"
 #include "util/backoff.hpp"
 #include "util/rng.hpp"
 
@@ -190,6 +193,18 @@ class Testbed {
   FaultInjector& armFaults(const FaultPlan& plan);
   FaultInjector* faultInjector() { return faultInjector_.get(); }
 
+  // --- Scenario engine ------------------------------------------------------
+  // Arms a compiled scenario (DESIGN.md §15) against this solo stack: the
+  // diurnal x flash envelope retunes every camera live at call time (the
+  // testbed is single-tenant, so tenant-scoped entries apply to all), each
+  // churn entry deploys its own camera from `churnTemplate` at its join time
+  // and removes it at its leave time, and failure groups compile into a
+  // FaultPlan armed through armFaults (so a scenario and a hand-written plan
+  // are mutually exclusive). Call after the steady-state deployments, before
+  // run(); at most once per testbed.
+  Status applyScenario(const ScenarioSpec& spec,
+                       const CameraDeployment& churnTemplate = {});
+
   // --- Results ------------------------------------------------------------
   double meanTpuUtilization() const { return utilization_->overallMean(); }
   // SLO summary over every pipeline that ever ran (live + retired).
@@ -253,6 +268,10 @@ class Testbed {
   std::unique_ptr<PeriodicTask> reclamationTask_;
   std::unique_ptr<RepackSupervisor> repackSupervisor_;
   std::unique_ptr<PeriodicTask> repackTask_;
+  // Scenario envelope controllers over the cameras live at applyScenario
+  // time (quantum 0: the solo sim needs no tick lattice).
+  std::vector<std::unique_ptr<StreamRateControl>> scenarioRates_;
+  bool scenarioArmed_ = false;
   bool backgroundStarted_ = false;
   Pcg32 rng_;
   std::uint64_t nextVehicleBase_ = 0;

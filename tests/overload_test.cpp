@@ -286,7 +286,8 @@ TEST(StreamDegraderTest, StepsDownUnderPressureAndBackUpWhenClean) {
   config.stepDownPressure = 0.25;
   config.sustainWindows = 2;
   config.coolDownWindows = 3;
-  StreamDegrader degrader(*client, task, framePeriod(15.0), config);
+  StreamRateControl rate(task, framePeriod(15.0));
+  StreamDegrader degrader(*client, rate, config);
 
   auto onDone = [&degrader](const FrameBreakdown&) { degrader.onFrame(); };
   // Pressured phase: pairs of back-to-back submissions — the second is
